@@ -1,0 +1,19 @@
+//! Criterion wrapper for experiment E1 (Fig. 2 latency comparison):
+//! times one ARP-Path run and one STP run of the scenario at reduced
+//! probe counts. The *results* (RTT tables) come from the `repro`
+//! binary; this tracks the harness's own cost.
+
+use arppath_bench::experiments::e1_latency::{run, E1Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_fig2_latency");
+    g.sample_size(10);
+    g.bench_function("arppath_plus_6_stp_roots_5probes", |b| {
+        b.iter(|| run(&E1Params { probes: 5, ..Default::default() }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

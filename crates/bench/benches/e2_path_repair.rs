@@ -1,0 +1,32 @@
+//! Criterion wrapper for experiment E2 (Fig. 3 path repair): times the
+//! ARP-Path failover scenario end to end (stream + two cable cuts).
+
+use arppath_bench::experiments::e2_repair::{run_variant, E2Params, E2Variant};
+use arppath_netsim::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn quick() -> E2Params {
+    E2Params {
+        rate_pps: 200,
+        chunk_len: 500,
+        duration: SimDuration::secs(5),
+        failures: [SimDuration::secs(1), SimDuration::secs(3)],
+        stp_timer_divisor: 20,
+        stall_threshold: SimDuration::millis(50),
+    }
+}
+
+fn bench_e2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_path_repair");
+    g.sample_size(10);
+    g.bench_function("arppath_5s_stream_2cuts", |b| {
+        b.iter(|| run_variant(E2Variant::ArpPath, &quick()))
+    });
+    g.bench_function("stp_5s_stream_2cuts", |b| {
+        b.iter(|| run_variant(E2Variant::Stp, &quick()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion wrapper for experiment E3 (line-rate sweep): times the
+//! minimum-size-frame point — the most event-dense simulation in the
+//! repository (one event pair every 672 simulated nanoseconds).
+
+use arppath_bench::experiments::e3_linerate::{run, E3Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_linerate");
+    g.sample_size(10);
+    g.bench_function("sweep_7sizes_200frames", |b| {
+        b.iter(|| run(&E3Params { frames_per_size: 200, ..Default::default() }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

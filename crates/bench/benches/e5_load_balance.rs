@@ -1,0 +1,17 @@
+//! Criterion wrapper for experiment E5 (load distribution): times the
+//! grid all-pairs workload under both protocols.
+
+use arppath_bench::experiments::e5_load::{run, E5Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_load_balance");
+    g.sample_size(10);
+    g.bench_function("grid3x3_10probes_both_protocols", |b| {
+        b.iter(|| run(&E5Params { side: 3, probes: 10, stp_timer_divisor: 20 }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

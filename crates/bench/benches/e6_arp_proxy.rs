@@ -1,0 +1,16 @@
+//! Criterion wrapper for experiment E6 (ARP proxy suppression).
+
+use arppath_bench::experiments::e6_proxy::{run, E6Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_arp_proxy");
+    g.sample_size(10);
+    g.bench_function("grid3x3_12clients_on_and_off", |b| {
+        b.iter(|| run(&E6Params { side: 3, clients: 12, servers: 2 }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion wrapper for experiment E7 (lock timer / table capacity
+//! ablations).
+
+use arppath_bench::experiments::e7_ablation::{run, E7Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_ablation");
+    g.sample_size(10);
+    g.bench_function("both_sweeps_10probes", |b| {
+        b.iter(|| run(&E7Params { probes: 10, ..Default::default() }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Engine throughput: how many simulated-network events the
+//! discrete-event core retires per second. This bounds how large an
+//! experiment the repository can run; the E1–E7 harness stays well
+//! inside it.
+
+use arppath::ArpPathConfig;
+use arppath_host::{PingConfig, PingHost};
+use arppath_netsim::{SimDuration, SimTime};
+use arppath_topo::{generic, BridgeKind, TopoBuilder};
+use arppath_wire::MacAddr;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::net::Ipv4Addr;
+
+/// Build a 4×4 ARP-Path grid with one chatty ping pair and run it for
+/// `sim_ms` of simulated time; returns events processed.
+fn run_grid(sim_ms: u64) -> u64 {
+    let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
+    let bridges = generic::grid(&mut t, 4, 4);
+    let prober = PingHost::new(
+        "p",
+        MacAddr::from_index(1, 1),
+        Ipv4Addr::new(10, 0, 0, 1),
+        1,
+        PingConfig {
+            target: Ipv4Addr::new(10, 0, 0, 2),
+            start_at: SimDuration::millis(1),
+            interval: SimDuration::micros(200),
+            count: u64::MAX,
+            ..Default::default()
+        },
+    );
+    let responder = PingHost::new(
+        "r",
+        MacAddr::from_index(1, 2),
+        Ipv4Addr::new(10, 0, 0, 2),
+        2,
+        PingConfig::default(),
+    );
+    t.host(bridges[0], Box::new(prober));
+    t.host(*bridges.last().unwrap(), Box::new(responder));
+    let mut built = t.build();
+    built.net.run_until(SimTime(SimDuration::millis(sim_ms).as_nanos()));
+    built.net.stats().events
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    let events = run_grid(20);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("grid4x4_ping_5kpps_20ms", |b| b.iter(|| run_grid(20)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the wire codecs: the per-frame work every
+//! simulated NIC and bridge does. Parsing dominates simulation cost at
+//! scale, so it is worth tracking.
+
+use arppath_wire::{ArpPacket, EthernetFrame, IpProto, Ipv4Packet, MacAddr, Payload};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn arp_frame_bytes() -> Vec<u8> {
+    let src = MacAddr::from_index(1, 1);
+    let arp = ArpPacket::request(src, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+    EthernetFrame::arp_request(src, arp).to_bytes()
+}
+
+fn udp_frame_bytes(payload: usize) -> Vec<u8> {
+    let pkt = Ipv4Packet::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        IpProto::Udp,
+        Bytes::from(vec![0xAB; payload]),
+    );
+    EthernetFrame::new(MacAddr::from_index(1, 2), MacAddr::from_index(1, 1), Payload::Ipv4(pkt))
+        .to_bytes()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/parse");
+    let arp = arp_frame_bytes();
+    g.throughput(Throughput::Bytes(arp.len() as u64));
+    g.bench_function("arp_request_60B", |b| {
+        b.iter(|| EthernetFrame::parse(black_box(&arp)).unwrap())
+    });
+    let udp = udp_frame_bytes(1000);
+    g.throughput(Throughput::Bytes(udp.len() as u64));
+    g.bench_function("udp_1034B", |b| b.iter(|| EthernetFrame::parse(black_box(&udp)).unwrap()));
+    g.finish();
+}
+
+fn bench_emit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/emit");
+    let arp = EthernetFrame::parse(&arp_frame_bytes()).unwrap();
+    g.bench_function("arp_request_60B", |b| {
+        b.iter(|| black_box(&arp).to_bytes())
+    });
+    let udp = EthernetFrame::parse(&udp_frame_bytes(1000)).unwrap();
+    g.bench_function("udp_1034B", |b| b.iter(|| black_box(&udp).to_bytes()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_emit);
+criterion_main!(benches);

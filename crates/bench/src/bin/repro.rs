@@ -1,0 +1,105 @@
+//! Regenerate the paper's experiment tables.
+//!
+//! ```text
+//! cargo run --release -p arppath-bench --bin repro            # all
+//! cargo run --release -p arppath-bench --bin repro -- e1 e2   # subset
+//! cargo run --release -p arppath-bench --bin repro -- --quick # small params
+//! ```
+//!
+//! Output is the markdown tables recorded in `EXPERIMENTS.md`.
+
+use arppath_bench::experiments::{e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation};
+use arppath_netsim::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    if want("e1") {
+        eprintln!("[repro] running E1 (Fig. 2 latency, ARP-Path vs STP root sweep)...");
+        let params =
+            if quick { e1_latency::E1Params { probes: 20, ..Default::default() } } else { Default::default() };
+        let mut result = e1_latency::run(&params);
+        println!("{}", e1_latency::table(&mut result).render_markdown());
+        println!(
+            "headline (ARP-Path ≤ every STP placement, < worst): {}\n",
+            if e1_latency::verify_headline(&mut result) { "HOLDS" } else { "VIOLATED" }
+        );
+    }
+
+    if want("e2") {
+        eprintln!("[repro] running E2 (Fig. 3 path repair during video stream)...");
+        let params = if quick {
+            e2_repair::E2Params {
+                duration: SimDuration::secs(20),
+                failures: [SimDuration::secs(5), SimDuration::secs(12)],
+                stp_timer_divisor: 10,
+                ..Default::default()
+            }
+        } else {
+            Default::default()
+        };
+        let result = e2_repair::run(&params);
+        println!("{}", e2_repair::table(&result).render_markdown());
+        if params.stp_timer_divisor > 1 {
+            println!("(STP timers scaled down by {}x in quick mode)\n", params.stp_timer_divisor);
+        }
+    }
+
+    if want("e3") {
+        eprintln!("[repro] running E3 (line-rate frame-size sweep)...");
+        let params = if quick {
+            e3_linerate::E3Params { frames_per_size: 500, ..Default::default() }
+        } else {
+            Default::default()
+        };
+        let result = e3_linerate::run(&params);
+        println!("{}", e3_linerate::table(&result).render_markdown());
+        println!(
+            "line rate sustained at every size: {}\n",
+            if e3_linerate::verify_linerate(&result) { "YES" } else { "NO" }
+        );
+    }
+
+    if want("e5") {
+        eprintln!("[repro] running E5 (load distribution on a grid fabric)...");
+        let params = if quick {
+            e5_load::E5Params { side: 3, probes: 20, stp_timer_divisor: 10 }
+        } else {
+            Default::default()
+        };
+        let result = e5_load::run(&params);
+        println!("{}", e5_load::table(&result).render_markdown());
+    }
+
+    if want("e6") {
+        eprintln!("[repro] running E6 (ARP proxy broadcast suppression)...");
+        let params = if quick {
+            e6_proxy::E6Params { side: 3, clients: 24, servers: 2 }
+        } else {
+            Default::default()
+        };
+        let result = e6_proxy::run(&params);
+        println!("{}", e6_proxy::table(&result).render_markdown());
+        println!(
+            "suppression effective: {}\n",
+            if e6_proxy::verify_suppression(&result) { "YES" } else { "NO" }
+        );
+    }
+
+    if want("e7") {
+        eprintln!("[repro] running E7 (lock timer / table capacity ablations)...");
+        let params = if quick {
+            e7_ablation::E7Params { probes: 20, ..Default::default() }
+        } else {
+            Default::default()
+        };
+        let result = e7_ablation::run(&params);
+        println!("{}", e7_ablation::table(&result).render_markdown());
+    }
+
+    eprintln!("[repro] done.");
+}

@@ -1,0 +1,72 @@
+//! Experiment implementations, one module per paper anchor.
+//!
+//! Each experiment is a plain function from a parameter struct to a
+//! result struct, plus a `table()` renderer — so the `repro` binary,
+//! the integration tests and the Criterion benches all share one
+//! implementation.
+
+pub mod e1_latency;
+pub mod e2_repair;
+pub mod e3_linerate;
+pub mod e5_load;
+pub mod e6_proxy;
+pub mod e7_ablation;
+
+use arppath_host::{PingConfig, PingHost};
+use arppath_netsim::{NodeId, SimDuration};
+use arppath_topo::{BridgeIx, TopoBuilder};
+use arppath_wire::MacAddr;
+use std::net::Ipv4Addr;
+
+/// Host addressing convention used across experiments: host `i` gets
+/// MAC `02:01::i` and IP `10.0.x.y`.
+pub fn host_mac(i: u32) -> MacAddr {
+    MacAddr::from_index(1, i)
+}
+
+/// IP of host `i` (supports up to 2^16 hosts).
+pub fn host_ip(i: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, (i >> 8) as u8, (i & 0xff) as u8)
+}
+
+/// Attach a probing ping host and its responder peer to two bridges.
+/// Returns the prober's host index so callers can read its samples
+/// after the run (`built.host_nodes[ix]`).
+pub fn attach_ping_pair(
+    t: &mut TopoBuilder,
+    prober_bridge: BridgeIx,
+    responder_bridge: BridgeIx,
+    prober_host_id: u32,
+    responder_host_id: u32,
+    cfg: PingConfig,
+) -> (usize, usize) {
+    let prober = PingHost::new(
+        format!("h{prober_host_id}"),
+        host_mac(prober_host_id),
+        host_ip(prober_host_id),
+        prober_host_id as u16,
+        PingConfig { target: host_ip(responder_host_id), ..cfg },
+    );
+    let responder = PingHost::new(
+        format!("h{responder_host_id}"),
+        host_mac(responder_host_id),
+        host_ip(responder_host_id),
+        responder_host_id as u16,
+        PingConfig::default(), // pure responder
+    );
+    let p = t.host(prober_bridge, Box::new(prober));
+    let r = t.host(responder_bridge, Box::new(responder));
+    (p, r)
+}
+
+/// Standard warmup before measurements: lets STP converge with
+/// standard timers (two forward delays + margin) and ARP-Path settle
+/// its hellos. Experiments that scale timers down scale this too.
+pub fn stp_convergence_time() -> SimDuration {
+    SimDuration::secs(35)
+}
+
+/// Convenience: node handle for the `ix`-th attached host.
+pub fn host_node(built: &arppath_topo::BuiltTopology, ix: usize) -> NodeId {
+    built.host_nodes[ix]
+}

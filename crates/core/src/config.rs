@@ -1,0 +1,110 @@
+//! ARP-Path bridge configuration.
+
+use arppath_netsim::SimDuration;
+
+/// Tunables of an ARP-Path bridge.
+///
+/// The two-timer scheme follows the paper's protocol description
+/// (§2.1.1): a *short* lock timer bounds the race window during which a
+/// source's ingress port is pinned and rival flood copies are
+/// discarded, and a *long* learning timer ages confirmed paths. Exact
+/// values were testbed-tuned in the original work; the defaults here
+/// are in the ranges the ARP-Path papers report, and experiment E7
+/// sweeps them.
+#[derive(Debug, Clone, Copy)]
+pub struct ArpPathConfig {
+    /// Lifetime of a `Locked` entry — the race window. Must exceed the
+    /// network's ARP round-trip (so the Reply finds the lock) and stay
+    /// well under `learn_time`.
+    pub lock_time: SimDuration,
+    /// Lifetime of a `Learnt` (confirmed) entry; refreshed by use.
+    pub learn_time: SimDuration,
+    /// Whether unicast data refreshes the source's `Learnt` entry —
+    /// keeps active flows' paths alive indefinitely (on by default, as
+    /// in the Linux/OpenFlow implementations).
+    pub refresh_on_data: bool,
+    /// Interval between one-hop `BridgeHello` beacons used for
+    /// core/edge port classification (DESIGN.md §5).
+    pub hello_interval: SimDuration,
+    /// How long after the last heard beacon a port is still considered
+    /// core (survives a couple of lost hellos).
+    pub hello_hold: SimDuration,
+    /// Enable the PathFail/PathRequest/PathReply repair protocol
+    /// (§2.1.4). Disabling it is the E7 ablation: failures then heal
+    /// only by entry expiry.
+    pub repair: bool,
+    /// Suppression window for duplicate repairs of the same
+    /// (source, destination) flow.
+    pub repair_hold: SimDuration,
+    /// Enable the in-switch ARP proxy (§2.2 "Scalability", ref \[5\]).
+    pub proxy: bool,
+    /// Lifetime of proxy IP→MAC cache entries.
+    pub proxy_cache_time: SimDuration,
+    /// Optional hardware table capacity (entries). `None` models an
+    /// unbounded software table; `Some(n)` models the NetFPGA's bounded
+    /// SRAM table — when full, new locks are refused and the frame is
+    /// dropped (the safe overflow behaviour: flooding without a lock
+    /// could loop). Experiment E7 sweeps this.
+    pub table_capacity: Option<usize>,
+}
+
+impl Default for ArpPathConfig {
+    fn default() -> Self {
+        ArpPathConfig {
+            lock_time: SimDuration::millis(500),
+            learn_time: SimDuration::secs(120),
+            refresh_on_data: true,
+            hello_interval: SimDuration::secs(1),
+            hello_hold: SimDuration::millis(3500),
+            repair: true,
+            repair_hold: SimDuration::millis(100),
+            proxy: false,
+            proxy_cache_time: SimDuration::secs(60),
+            table_capacity: None,
+        }
+    }
+}
+
+impl ArpPathConfig {
+    /// Default configuration with the proxy enabled (experiment E6).
+    pub fn with_proxy(mut self) -> Self {
+        self.proxy = true;
+        self
+    }
+
+    /// Default configuration with repair disabled (E7 ablation).
+    pub fn without_repair(mut self) -> Self {
+        self.repair = false;
+        self
+    }
+
+    /// Bounded-table configuration (E7 hardware-table ablation).
+    pub fn with_table_capacity(mut self, entries: usize) -> Self {
+        self.table_capacity = Some(entries);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_keep_lock_well_under_learn() {
+        let c = ArpPathConfig::default();
+        assert!(c.lock_time.as_nanos() * 10 <= c.learn_time.as_nanos());
+        assert!(c.repair);
+        assert!(!c.proxy);
+        assert!(c.table_capacity.is_none());
+    }
+
+    #[test]
+    fn builders_flip_flags() {
+        assert!(ArpPathConfig::default().with_proxy().proxy);
+        assert!(!ArpPathConfig::default().without_repair().repair);
+        assert_eq!(
+            ArpPathConfig::default().with_table_capacity(512).table_capacity,
+            Some(512)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! ARP-Path specific counters, read by the experiment harness.
+
+/// Protocol-level counters of one ARP-Path bridge. The generic
+/// forwarding counters (forwarded/flooded/drops) live in
+/// [`arppath_switch::SwitchCounters`]; these add the ARP-Path events
+/// the experiments report on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArpPathCounters {
+    /// Locks created by host broadcasts (ARP Requests and other
+    /// broadcast/multicast first-frames).
+    pub locks_created: u64,
+    /// Locked entries promoted to Learnt by a confirming unicast.
+    pub promotions: u64,
+    /// Flood copies discarded by the first-copy-wins rule — the
+    /// duplicate suppression that keeps ARP-Path loop-free.
+    pub race_drops: u64,
+    /// Unicast frames that found no path entry (a miss: expiry or
+    /// failure downstream).
+    pub unicast_misses: u64,
+    /// Repair episodes this bridge initiated (PathFail sent or, at the
+    /// source edge, PathRequest flooded directly).
+    pub repairs_initiated: u64,
+    /// Repairs suppressed because one was already pending for the flow.
+    pub repairs_suppressed: u64,
+    /// PathFail messages received and relayed or consumed.
+    pub path_fails_rx: u64,
+    /// PathRequest floods this bridge originated (as source edge).
+    pub path_requests_originated: u64,
+    /// PathRequest copies received.
+    pub path_requests_rx: u64,
+    /// PathReply messages this bridge answered (as destination edge).
+    pub path_replies_sent: u64,
+    /// PathReply messages received (relayed or consumed).
+    pub path_replies_rx: u64,
+    /// BridgeHello beacons sent.
+    pub hellos_tx: u64,
+    /// BridgeHello beacons received.
+    pub hellos_rx: u64,
+    /// ARP Requests answered directly by the proxy (flood suppressed).
+    pub proxy_replies: u64,
+    /// ARP floods that went out because the proxy could not answer.
+    pub proxy_passthrough: u64,
+    /// ARP Request frames this bridge flooded onward (proxy or not) —
+    /// the broadcast volume the E6 experiment tracks.
+    pub arp_request_floods: u64,
+    /// Entries flushed because their port lost carrier.
+    pub link_down_flushes: u64,
+    /// Lock insertions refused because the (bounded) table was full.
+    pub table_full_rejections: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let c = ArpPathCounters::default();
+        assert_eq!(c.locks_created, 0);
+        assert_eq!(c.race_drops, 0);
+        assert_eq!(c.repairs_initiated, 0);
+    }
+}

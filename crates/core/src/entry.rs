@@ -1,0 +1,68 @@
+//! Path-table entries and their two-state FSM.
+
+use arppath_netsim::PortNo;
+
+/// The state of a path-table entry (paper §2.1.1–§2.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntryState {
+    /// Set by the first copy of a path-discovering broadcast (ARP
+    /// Request / PathRequest). While locked, copies of the flood
+    /// arriving on other ports are discarded — they lost the race.
+    Locked,
+    /// Confirmed by a path-establishing unicast (ARP Reply / PathReply)
+    /// travelling the locked chain; long-lived, refreshed by use.
+    Learnt,
+}
+
+/// One entry of the path table: where frames *toward* `mac` leave this
+/// bridge — equivalently, the port on which `mac`'s winning frame
+/// arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathEntry {
+    /// Port toward the station.
+    pub port: PortNo,
+    /// Lock/learnt state.
+    pub state: EntryState,
+    /// For `Locked` entries created by a *repair* flood: the repair
+    /// nonce, so rival copies of the same PathRequest wave are
+    /// distinguished from unrelated discoveries. `None` for locks
+    /// created by host ARP traffic.
+    pub flood_nonce: Option<u32>,
+}
+
+impl PathEntry {
+    /// A fresh lock from a host-originated broadcast.
+    pub fn locked(port: PortNo) -> Self {
+        PathEntry { port, state: EntryState::Locked, flood_nonce: None }
+    }
+
+    /// A fresh lock from a repair flood carrying `nonce`.
+    pub fn repair_locked(port: PortNo, nonce: u32) -> Self {
+        PathEntry { port, state: EntryState::Locked, flood_nonce: Some(nonce) }
+    }
+
+    /// A confirmed entry.
+    pub fn learnt(port: PortNo) -> Self {
+        PathEntry { port, state: EntryState::Learnt, flood_nonce: None }
+    }
+
+    /// True while in the locked (race-window) state.
+    pub fn is_locked(&self) -> bool {
+        self.state == EntryState::Locked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_states() {
+        assert!(PathEntry::locked(PortNo(1)).is_locked());
+        assert!(!PathEntry::learnt(PortNo(1)).is_locked());
+        let r = PathEntry::repair_locked(PortNo(2), 7);
+        assert!(r.is_locked());
+        assert_eq!(r.flood_nonce, Some(7));
+        assert_eq!(PathEntry::locked(PortNo(1)).flood_nonce, None);
+    }
+}

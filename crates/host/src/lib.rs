@@ -1,0 +1,25 @@
+//! Simulated end hosts for the ARP-Path reproduction.
+//!
+//! Hosts are standard, unmodified network citizens — they speak ARP and
+//! IPv4/UDP/ICMP and have never heard of ARP-Path, which is exactly the
+//! paper's transparency requirement. The crate provides:
+//!
+//! * [`HostStack`] — ARP cache + resolution queue, ICMP echo responder,
+//!   UDP/ICMP send paths;
+//! * [`PingHost`] — the RTT prober behind experiment E1's latency
+//!   tables;
+//! * [`StreamServer`] / [`StreamClient`] — the video-streaming workload
+//!   behind experiment E2's path-repair measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ping;
+pub mod stack;
+pub mod stream;
+
+pub use ping::{PingConfig, PingHost};
+pub use stack::{HostCounters, HostStack, Upcall};
+pub use stream::{
+    StreamClient, StreamClientConfig, StreamConfig, StreamServer, REPORT_PORT, STREAM_PORT,
+};

@@ -1,0 +1,356 @@
+//! The video-streaming workload of experiment E2 (paper §3.2): host A
+//! streams video to host B while links on the path are cut, and the
+//! client-side arrival record shows how long the stream stalled.
+//!
+//! The paper used an HTTP/VLC stream; the measured quantity — delivery
+//! continuity across failures — is captured by a constant-bit-rate UDP
+//! stream with sequence numbers and client-side gap accounting. The
+//! client returns a small periodic receiver report, which doubles as
+//! the reverse traffic that keeps the bidirectional path alive (a real
+//! HTTP stream's TCP ACKs do the same).
+
+use crate::stack::{HostStack, Upcall};
+use arppath_metrics::{LatencyStats, TimeSeries};
+use arppath_netsim::{Ctx, Device, PortNo, SimDuration, TimerToken};
+use arppath_wire::{EthernetFrame, MacAddr};
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+const TOKEN_CHUNK: TimerToken = TimerToken(0x5354_0001);
+const TOKEN_REPORT: TimerToken = TimerToken(0x5354_0002);
+
+/// UDP port the stream rides on.
+pub const STREAM_PORT: u16 = 5004;
+/// UDP port receiver reports ride on.
+pub const REPORT_PORT: u16 = 5005;
+
+/// Streaming server parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// The client to stream to.
+    pub client: Ipv4Addr,
+    /// When streaming starts.
+    pub start_at: SimDuration,
+    /// Chunks per second.
+    pub rate_pps: u64,
+    /// Chunk payload size in bytes (seq + timestamp + video data).
+    pub chunk_len: usize,
+    /// Total chunks to send (bounds the experiment).
+    pub total_chunks: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        // 4 Mbit/s at 1000 B chunks ≈ 500 pps — a plausible SD stream.
+        StreamConfig {
+            client: Ipv4Addr::UNSPECIFIED,
+            start_at: SimDuration::millis(50),
+            rate_pps: 500,
+            chunk_len: 1000,
+            total_chunks: 5_000,
+        }
+    }
+}
+
+/// The streaming server ("host A ... will act as a HTTP server",
+/// paper §3.2).
+pub struct StreamServer {
+    name: String,
+    /// The network stack.
+    pub stack: HostStack,
+    config: StreamConfig,
+    next_seq: u64,
+    /// Chunks transmitted.
+    pub sent: u64,
+    /// Receiver reports heard (reverse-path liveness signal).
+    pub reports_rx: u64,
+}
+
+impl StreamServer {
+    /// Create the server.
+    pub fn new(name: impl Into<String>, mac: MacAddr, ip: Ipv4Addr, config: StreamConfig) -> Self {
+        StreamServer {
+            name: name.into(),
+            stack: HostStack::new(mac, ip),
+            config,
+            next_seq: 0,
+            sent: 0,
+            reports_rx: 0,
+        }
+    }
+
+    fn interval(&self) -> SimDuration {
+        SimDuration::nanos(1_000_000_000 / self.config.rate_pps.max(1))
+    }
+
+    fn send_chunk(&mut self, ctx: &mut Ctx) {
+        let mut payload = Vec::with_capacity(self.config.chunk_len.max(16));
+        payload.extend_from_slice(&self.next_seq.to_be_bytes());
+        payload.extend_from_slice(&ctx.now().as_nanos().to_be_bytes());
+        payload.resize(self.config.chunk_len.max(16), 0x56); // 'V' for video
+        self.stack.send_udp(self.config.client, STREAM_PORT, STREAM_PORT, Bytes::from(payload), ctx);
+        self.next_seq += 1;
+        self.sent += 1;
+    }
+}
+
+impl Device for StreamServer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if self.config.total_chunks > 0 {
+            ctx.schedule(self.config.start_at, TOKEN_CHUNK);
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
+        if token != TOKEN_CHUNK {
+            return;
+        }
+        self.stack.retry_pending_arp(ctx);
+        self.send_chunk(ctx);
+        if self.sent < self.config.total_chunks {
+            ctx.schedule(self.interval(), TOKEN_CHUNK);
+        }
+    }
+
+    fn on_frame(&mut self, _port: PortNo, frame: EthernetFrame, ctx: &mut Ctx) {
+        if let Some(Upcall::Udp { dst_port, .. }) = self.stack.handle_frame(frame, ctx) {
+            if dst_port == REPORT_PORT {
+                self.reports_rx += 1;
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Client-side stream accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamClientConfig {
+    /// The server's address (receiver reports go there).
+    pub server: Ipv4Addr,
+    /// Interval between receiver reports.
+    pub report_interval: SimDuration,
+}
+
+impl Default for StreamClientConfig {
+    fn default() -> Self {
+        StreamClientConfig {
+            server: Ipv4Addr::UNSPECIFIED,
+            report_interval: SimDuration::millis(500),
+        }
+    }
+}
+
+/// The streaming client ("B will connect to it and start streaming a
+/// video"): records every chunk arrival for stall analysis.
+pub struct StreamClient {
+    name: String,
+    /// The network stack.
+    pub stack: HostStack,
+    config: StreamClientConfig,
+    /// Arrival time series: `(arrival_ns, seq)` per chunk.
+    pub arrivals: TimeSeries,
+    /// One-way chunk latency samples (simulation clock, exact).
+    pub latency: LatencyStats,
+    /// Chunks received.
+    pub received: u64,
+    /// Highest sequence seen (`None` until the first chunk).
+    pub highest_seq: Option<u64>,
+    /// Duplicates / reorders below the high-water mark.
+    pub out_of_order: u64,
+    /// Reports sent.
+    pub reports_tx: u64,
+}
+
+impl StreamClient {
+    /// Create the client.
+    pub fn new(
+        name: impl Into<String>,
+        mac: MacAddr,
+        ip: Ipv4Addr,
+        config: StreamClientConfig,
+    ) -> Self {
+        StreamClient {
+            name: name.into(),
+            stack: HostStack::new(mac, ip),
+            config,
+            arrivals: TimeSeries::new(),
+            latency: LatencyStats::new(),
+            received: 0,
+            highest_seq: None,
+            out_of_order: 0,
+            reports_tx: 0,
+        }
+    }
+
+    /// Chunks missing below the high-water mark (lost to failures).
+    pub fn lost(&self) -> u64 {
+        match self.highest_seq {
+            Some(h) => (h + 1).saturating_sub(self.received + self.out_of_order),
+            None => 0,
+        }
+    }
+
+    /// Stalls longer than `threshold` the viewer would have seen, as
+    /// `(start_ns, duration_ns)`.
+    pub fn stalls_over(&self, threshold: SimDuration) -> Vec<(u64, u64)> {
+        self.arrivals.gaps_over(threshold.as_nanos())
+    }
+}
+
+impl Device for StreamClient {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.schedule(self.config.report_interval, TOKEN_REPORT);
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
+        if token != TOKEN_REPORT {
+            return;
+        }
+        // Report the high-water mark; its real job is keeping the
+        // reverse path's entries fresh.
+        let mut payload = Vec::with_capacity(8);
+        payload.extend_from_slice(&self.highest_seq.unwrap_or(0).to_be_bytes());
+        self.stack.send_udp(self.config.server, REPORT_PORT, REPORT_PORT, Bytes::from(payload), ctx);
+        self.reports_tx += 1;
+        ctx.schedule(self.config.report_interval, TOKEN_REPORT);
+    }
+
+    fn on_frame(&mut self, _port: PortNo, frame: EthernetFrame, ctx: &mut Ctx) {
+        if let Some(Upcall::Udp { dst_port, payload, .. }) = self.stack.handle_frame(frame, ctx) {
+            if dst_port != STREAM_PORT || payload.len() < 16 {
+                return;
+            }
+            let seq = u64::from_be_bytes(payload[..8].try_into().expect("8 bytes"));
+            let sent_at = u64::from_be_bytes(payload[8..16].try_into().expect("8 bytes"));
+            let now = ctx.now().as_nanos();
+            self.arrivals.push(now, seq as f64);
+            self.latency.record(now.saturating_sub(sent_at));
+            match self.highest_seq {
+                Some(h) if seq <= h => self.out_of_order += 1,
+                _ => {
+                    self.highest_seq = Some(seq);
+                    self.received += 1;
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arppath_netsim::{Command, NodeId, SimTime};
+
+    #[test]
+    fn server_paces_chunks_at_rate() {
+        let cfg = StreamConfig { client: Ipv4Addr::new(10, 0, 0, 2), rate_pps: 1000, ..Default::default() };
+        let server =
+            StreamServer::new("srv", MacAddr::from_index(1, 1), Ipv4Addr::new(10, 0, 0, 1), cfg);
+        assert_eq!(server.interval(), SimDuration::millis(1));
+    }
+
+    #[test]
+    fn server_sends_and_reschedules() {
+        let cfg = StreamConfig {
+            client: Ipv4Addr::new(10, 0, 0, 2),
+            total_chunks: 2,
+            ..Default::default()
+        };
+        let mut server =
+            StreamServer::new("srv", MacAddr::from_index(1, 1), Ipv4Addr::new(10, 0, 0, 1), cfg);
+        let ports = [true];
+        let mut cmds = Vec::new();
+        server.on_timer(TOKEN_CHUNK, &mut Ctx::new(SimTime(0), NodeId(0), &ports, &mut cmds));
+        assert_eq!(server.sent, 1);
+        assert!(cmds.iter().any(|c| matches!(c, Command::Schedule { .. })));
+        cmds.clear();
+        server.on_timer(TOKEN_CHUNK, &mut Ctx::new(SimTime(1), NodeId(0), &ports, &mut cmds));
+        assert_eq!(server.sent, 2);
+        assert!(
+            !cmds.iter().any(|c| matches!(c, Command::Schedule { .. })),
+            "no reschedule after the last chunk"
+        );
+    }
+
+    #[test]
+    fn client_tracks_sequence_and_loss() {
+        let mut client = StreamClient::new(
+            "cli",
+            MacAddr::from_index(1, 2),
+            Ipv4Addr::new(10, 0, 0, 2),
+            StreamClientConfig { server: Ipv4Addr::new(10, 0, 0, 1), ..Default::default() },
+        );
+        // Feed chunks 0,1,2, then 5 (3,4 lost), then a duplicate 5.
+        let mk_chunk = |seq: u64, t: u64| {
+            let mut p = Vec::new();
+            p.extend_from_slice(&seq.to_be_bytes());
+            p.extend_from_slice(&t.to_be_bytes());
+            p.resize(100, 0);
+            Upcall::Udp {
+                from: Ipv4Addr::new(10, 0, 0, 1),
+                src_port: STREAM_PORT,
+                dst_port: STREAM_PORT,
+                payload: Bytes::from(p),
+            }
+        };
+        // Drive the accounting directly (bypassing frame decode, which
+        // stack tests already cover).
+        for (seq, t) in [(0u64, 10u64), (1, 20), (2, 30), (5, 90), (5, 95)] {
+            if let Upcall::Udp { payload, .. } = mk_chunk(seq, t) {
+                let s = u64::from_be_bytes(payload[..8].try_into().unwrap());
+                let ts = u64::from_be_bytes(payload[8..16].try_into().unwrap());
+                client.arrivals.push(t + 5, s as f64);
+                client.latency.record((t + 5).saturating_sub(ts));
+                match client.highest_seq {
+                    Some(h) if s <= h => client.out_of_order += 1,
+                    _ => {
+                        client.highest_seq = Some(s);
+                        client.received += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(client.received, 4);
+        assert_eq!(client.out_of_order, 1);
+        assert_eq!(client.lost(), 1); // 6 expected (0..=5), 4 received + 1 dup
+        assert_eq!(client.highest_seq, Some(5));
+    }
+
+    #[test]
+    fn stall_detection_via_arrivals() {
+        let mut client = StreamClient::new(
+            "cli",
+            MacAddr::from_index(1, 2),
+            Ipv4Addr::new(10, 0, 0, 2),
+            StreamClientConfig::default(),
+        );
+        for t in [0u64, 1_000_000, 2_000_000, 52_000_000, 53_000_000] {
+            client.arrivals.push(t, 0.0);
+        }
+        let stalls = client.stalls_over(SimDuration::millis(10));
+        assert_eq!(stalls, vec![(2_000_000, 50_000_000)]);
+    }
+}

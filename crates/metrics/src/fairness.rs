@@ -1,0 +1,58 @@
+//! Fairness indices for the load-distribution experiment (E5).
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`.
+///
+/// 1.0 when all links carry equal load (perfect spreading — what
+/// ARP-Path's path diversity aims for), approaching `1/n` when a single
+/// link carries everything (what an STP tree degenerates to on its root
+/// links). Zero-valued entries count; an empty or all-zero slice
+/// returns 0.0.
+pub fn jain_index(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = loads.iter().sum();
+    let sum_sq: f64 = loads.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 0.0;
+    }
+    (sum * sum) / (loads.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_loads_give_one() {
+        assert!((jain_index(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hot_link_gives_one_over_n() {
+        let idx = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 0.0);
+        assert!((jain_index(&[5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn index_is_in_unit_interval(loads in proptest::collection::vec(0.0f64..1e6, 1..64)) {
+            let idx = jain_index(&loads);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&idx));
+        }
+
+        #[test]
+        fn index_is_scale_invariant(loads in proptest::collection::vec(0.1f64..1e3, 2..32), k in 0.1f64..100.0) {
+            let scaled: Vec<f64> = loads.iter().map(|x| x * k).collect();
+            prop_assert!((jain_index(&loads) - jain_index(&scaled)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Measurement utilities for the experiment harness: latency samples
+//! with exact percentiles, time series with gap analysis (video stall
+//! detection), fairness indices, and plain-text table rendering for the
+//! tables in `EXPERIMENTS.md`.
+//!
+//! Everything here is deliberately simple and exact — experiment scale
+//! is thousands of samples, so sorting beats approximate sketches and
+//! keeps the reproduction bit-stable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod latency;
+pub mod series;
+pub mod table;
+
+pub use fairness::jain_index;
+pub use latency::LatencyStats;
+pub use series::TimeSeries;
+pub use table::Table;

@@ -1,0 +1,811 @@
+//! The discrete-event engine: a deterministic event queue moving frames
+//! across links between devices.
+
+use crate::device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
+use crate::link::{Dir, Endpoint, Link, LinkId, LinkParams};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, Tracer};
+use arppath_wire::EthernetFrame;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// What happens at an instant.
+#[derive(Debug)]
+enum EventKind {
+    /// The head frame of `link`/`dir` finished serializing.
+    TxDone { link: LinkId, dir: Dir, epoch: u64, frame: EthernetFrame },
+    /// The last bit of `frame` reached the far end of `link`/`dir`.
+    Deliver { link: LinkId, dir: Dir, epoch: u64, frame: EthernetFrame },
+    /// A device timer fires.
+    Timer { node: NodeId, token: TimerToken },
+    /// The harness flips a link's state (cable cut / re-plug).
+    LinkAdmin { link: LinkId, up: bool },
+    /// Test hook: hand a frame directly to a device's ingress.
+    Inject { node: NodeId, port: PortNo, frame: EthernetFrame },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // (time, seq): chronological, insertion order as tiebreak. The
+        // heap holds `Reverse<Event>` so this yields a min-queue.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Network-wide counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Frames devices asked to transmit.
+    pub frames_sent: u64,
+    /// Frames delivered to devices.
+    pub frames_delivered: u64,
+    /// Frames dropped at full transmit queues.
+    pub drops_queue_full: u64,
+    /// Frames lost to down links (at send or in flight).
+    pub drops_link_down: u64,
+    /// Frames sent into uncabled ports.
+    pub drops_no_cable: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// Assembles a [`Network`]: add devices, cable them together, build.
+#[derive(Default)]
+pub struct NetworkBuilder {
+    devices: Vec<Box<dyn Device>>,
+    links: Vec<Link>,
+    port_map: HashMap<(NodeId, PortNo), (LinkId, Dir)>,
+    tracer: Option<Box<dyn Tracer>>,
+}
+
+impl NetworkBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a tracer before the network starts, so the `on_start`
+    /// traffic (protocol hellos, application kick-off) is captured too.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Attach a device; ids are handed out in insertion order.
+    pub fn add(&mut self, device: Box<dyn Device>) -> NodeId {
+        let id = NodeId(self.devices.len());
+        self.devices.push(device);
+        id
+    }
+
+    /// Cable `(a, a_port)` to `(b, b_port)` with `params`.
+    ///
+    /// # Panics
+    /// On out-of-range nodes, self-loops, or double-cabling a port —
+    /// all builder misuse, caught at construction time.
+    pub fn link(
+        &mut self,
+        a: NodeId,
+        a_port: usize,
+        b: NodeId,
+        b_port: usize,
+        params: LinkParams,
+    ) -> LinkId {
+        assert!(a.0 < self.devices.len(), "link endpoint {a:?} does not exist");
+        assert!(b.0 < self.devices.len(), "link endpoint {b:?} does not exist");
+        assert!(
+            !(a == b && a_port == b_port),
+            "cannot cable a port to itself ({a:?} port {a_port})"
+        );
+        let ea = Endpoint { node: a, port: PortNo(a_port) };
+        let eb = Endpoint { node: b, port: PortNo(b_port) };
+        let id = LinkId(self.links.len());
+        for (ep, label) in [(ea, "A"), (eb, "B")] {
+            assert!(
+                !self.port_map.contains_key(&(ep.node, ep.port)),
+                "endpoint {label} ({:?} port {}) is already cabled",
+                ep.node,
+                ep.port.0
+            );
+        }
+        self.port_map.insert((ea.node, ea.port), (id, Dir::AtoB));
+        self.port_map.insert((eb.node, eb.port), (id, Dir::BtoA));
+        self.links.push(Link::new(ea, eb, params));
+        id
+    }
+
+    /// Finish construction and run every device's `on_start` at t=0.
+    pub fn build(self) -> Network {
+        let mut ports_up: Vec<Vec<bool>> = self.devices.iter().map(|_| Vec::new()).collect();
+        for link in &self.links {
+            for ep in [link.a, link.b] {
+                let v = &mut ports_up[ep.node.0];
+                if v.len() <= ep.port.0 {
+                    v.resize(ep.port.0 + 1, false);
+                }
+                v[ep.port.0] = true;
+            }
+        }
+        let n = self.devices.len();
+        let mut net = Network {
+            devices: self.devices.into_iter().map(Some).collect(),
+            links: self.links,
+            port_map: self.port_map,
+            ports_up,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            stats: NetworkStats::default(),
+            tracer: self.tracer,
+            scratch: Vec::new(),
+        };
+        for i in 0..n {
+            net.dispatch(NodeId(i), |dev, ctx| dev.on_start(ctx));
+        }
+        net
+    }
+}
+
+/// A running simulated network.
+pub struct Network {
+    devices: Vec<Option<Box<dyn Device>>>,
+    links: Vec<Link>,
+    port_map: HashMap<(NodeId, PortNo), (LinkId, Dir)>,
+    ports_up: Vec<Vec<bool>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    seq: u64,
+    stats: NetworkStats,
+    tracer: Option<Box<dyn Tracer>>,
+    scratch: Vec<Command>,
+}
+
+impl Network {
+    /// The current instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Engine-wide counters.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Number of devices.
+    pub fn node_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Immutable view of a link (its stats, endpoints, state).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// All links.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links.iter().enumerate().map(|(i, l)| (LinkId(i), l))
+    }
+
+    /// The device's trace name.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        self.devices[node.0].as_ref().expect("device in dispatch").name()
+    }
+
+    /// Install (or replace) the tracer.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Remove and return the tracer (to inspect collected data).
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    /// Typed access to a device.
+    ///
+    /// # Panics
+    /// If `node` does not hold a `T`.
+    pub fn device<T: 'static>(&self, node: NodeId) -> &T {
+        self.devices[node.0]
+            .as_ref()
+            .expect("device in dispatch")
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {node:?} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Typed mutable access to a device.
+    ///
+    /// # Panics
+    /// If `node` does not hold a `T`.
+    pub fn device_mut<T: 'static>(&mut self, node: NodeId) -> &mut T {
+        self.devices[node.0]
+            .as_mut()
+            .expect("device in dispatch")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {node:?} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Schedule a cable cut at `at`.
+    pub fn schedule_link_down(&mut self, link: LinkId, at: SimTime) {
+        self.push_at(at, EventKind::LinkAdmin { link, up: false });
+    }
+
+    /// Schedule a cable re-plug at `at`.
+    pub fn schedule_link_up(&mut self, link: LinkId, at: SimTime) {
+        self.push_at(at, EventKind::LinkAdmin { link, up: true });
+    }
+
+    /// Test hook: deliver `frame` to `node`/`port` at the current time
+    /// (processed before any later event).
+    pub fn inject(&mut self, node: NodeId, port: PortNo, frame: EthernetFrame) {
+        self.push_at(self.now, EventKind::Inject { node, port, frame });
+    }
+
+    /// Run until the event queue is empty or `limit` is reached,
+    /// whichever is first. Returns `true` if the queue drained; the
+    /// clock is left at the last processed event (drained) or at
+    /// `limit`.
+    pub fn run_until_idle(&mut self, limit: SimTime) -> bool {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > limit {
+                self.now = self.now.max(limit);
+                return false;
+            }
+            self.step();
+        }
+        true
+    }
+
+    /// Run every event up to and including `until`, then set the clock
+    /// to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Run for `d` from the current instant.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let until = self.now + d;
+        self.run_until(until);
+    }
+
+    /// Process exactly one event. Returns the time it ran at, or `None`
+    /// if the queue is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let Reverse(ev) = self.queue.pop()?;
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        self.stats.events += 1;
+        match ev.kind {
+            EventKind::TxDone { link, dir, epoch, frame } => self.on_tx_done(link, dir, epoch, frame),
+            EventKind::Deliver { link, dir, epoch, frame } => self.on_deliver(link, dir, epoch, frame),
+            EventKind::Timer { node, token } => {
+                self.trace(TraceEvent::TimerFired { node, token });
+                self.dispatch(node, |dev, ctx| dev.on_timer(token, ctx));
+            }
+            EventKind::LinkAdmin { link, up } => self.on_link_admin(link, up),
+            EventKind::Inject { node, port, frame } => {
+                self.trace(TraceEvent::Delivered { node, port, frame: &frame });
+                self.stats.frames_delivered += 1;
+                self.dispatch(node, |dev, ctx| dev.on_frame(port, frame, ctx));
+            }
+        }
+        Some(self.now)
+    }
+
+    // ---- internals ----
+
+    fn push_at(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn trace(&mut self, event: TraceEvent<'_>) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(self.now, event);
+        }
+    }
+
+    /// Borrow dance: take the device out of its slot so the callback can
+    /// receive `&mut self`-derived context without aliasing.
+    fn dispatch<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Device>, &mut Ctx),
+    {
+        let mut dev = self.devices[node.0].take().expect("re-entrant dispatch");
+        let mut commands = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = Ctx::new(self.now, node, &self.ports_up[node.0], &mut commands);
+            f(&mut dev, &mut ctx);
+        }
+        self.devices[node.0] = Some(dev);
+        for cmd in commands.drain(..) {
+            match cmd {
+                Command::Send { port, frame } => self.handle_send(node, port, frame),
+                Command::Schedule { after, token } => {
+                    self.push_at(self.now + after, EventKind::Timer { node, token });
+                }
+            }
+        }
+        self.scratch = commands;
+    }
+
+    fn handle_send(&mut self, node: NodeId, port: PortNo, frame: EthernetFrame) {
+        self.stats.frames_sent += 1;
+        self.trace(TraceEvent::Sent { node, port, frame: &frame });
+        let Some(&(link_id, dir)) = self.port_map.get(&(node, port)) else {
+            self.stats.drops_no_cable += 1;
+            self.trace(TraceEvent::DropNoCable { node, port });
+            return;
+        };
+        let link = &mut self.links[link_id.0];
+        if !link.up {
+            self.stats.drops_link_down += 1;
+            link.dirs[dir.index()].stats.dropped_link_down += 1;
+            self.trace(TraceEvent::DropLinkDown { link: link_id, frame: &frame });
+            return;
+        }
+        let state = &mut link.dirs[dir.index()];
+        if state.transmitting {
+            let len = frame.wire_len();
+            if state.queued_bytes + len > link.params.queue_bytes {
+                self.stats.drops_queue_full += 1;
+                link.dirs[dir.index()].stats.dropped_queue_full += 1;
+                self.trace(TraceEvent::DropQueueFull { link: link_id, dir, frame: &frame });
+                return;
+            }
+            state.queued_bytes += len;
+            state.queue.push_back(frame);
+        } else {
+            self.start_tx(link_id, dir, frame);
+        }
+    }
+
+    fn start_tx(&mut self, link_id: LinkId, dir: Dir, frame: EthernetFrame) {
+        let link = &mut self.links[link_id.0];
+        let ser = link.params.serialization(&frame);
+        let epoch = link.epoch;
+        let state = &mut link.dirs[dir.index()];
+        state.transmitting = true;
+        state.stats.busy = state.stats.busy + ser;
+        let when = self.now + ser;
+        self.push_at(when, EventKind::TxDone { link: link_id, dir, epoch, frame });
+    }
+
+    fn on_tx_done(&mut self, link_id: LinkId, dir: Dir, epoch: u64, frame: EthernetFrame) {
+        let link = &mut self.links[link_id.0];
+        if epoch != link.epoch || !link.up {
+            // The cable was cut while these bits were leaving the MAC.
+            self.stats.drops_link_down += 1;
+            link.dirs[dir.index()].stats.dropped_link_down += 1;
+            self.trace(TraceEvent::DropLinkDown { link: link_id, frame: &frame });
+            return;
+        }
+        let prop = link.params.propagation;
+        {
+            let state = &mut link.dirs[dir.index()];
+            state.stats.tx_frames += 1;
+            state.stats.tx_bytes += frame.wire_len() as u64;
+        }
+        let when = self.now + prop;
+        self.push_at(when, EventKind::Deliver { link: link_id, dir, epoch, frame });
+        // Pull the next queued frame into the transmitter.
+        let link = &mut self.links[link_id.0];
+        let state = &mut link.dirs[dir.index()];
+        if let Some(next) = state.queue.pop_front() {
+            state.queued_bytes -= next.wire_len();
+            state.transmitting = true;
+            self.start_tx(link_id, dir, next);
+        } else {
+            state.transmitting = false;
+        }
+    }
+
+    fn on_deliver(&mut self, link_id: LinkId, dir: Dir, epoch: u64, frame: EthernetFrame) {
+        let link = &self.links[link_id.0];
+        if epoch != link.epoch || !link.up {
+            self.stats.drops_link_down += 1;
+            self.trace(TraceEvent::DropLinkDown { link: link_id, frame: &frame });
+            return;
+        }
+        let Endpoint { node, port } = link.receiver(dir);
+        self.stats.frames_delivered += 1;
+        self.trace(TraceEvent::Delivered { node, port, frame: &frame });
+        self.dispatch(node, |dev, ctx| dev.on_frame(port, frame, ctx));
+    }
+
+    fn on_link_admin(&mut self, link_id: LinkId, up: bool) {
+        let link = &mut self.links[link_id.0];
+        if link.up == up {
+            return; // idempotent
+        }
+        link.up = up;
+        link.epoch += 1;
+        let (a, b) = (link.a, link.b);
+        if !up {
+            // Drain both transmit queues: those frames are lost.
+            for dir in [Dir::AtoB, Dir::BtoA] {
+                let state = &mut link.dirs[dir.index()];
+                let lost = state.queue.len() as u64;
+                state.stats.dropped_link_down += lost;
+                self.stats.drops_link_down += lost;
+                state.queue.clear();
+                state.queued_bytes = 0;
+                state.transmitting = false;
+            }
+        }
+        for ep in [a, b] {
+            let v = &mut self.ports_up[ep.node.0];
+            if v.len() <= ep.port.0 {
+                v.resize(ep.port.0 + 1, false);
+            }
+            v[ep.port.0] = up;
+        }
+        self.trace(TraceEvent::LinkStatus { link: link_id, up });
+        for ep in [a, b] {
+            self.dispatch(ep.node, |dev, ctx| dev.on_link_status(ep.port, up, ctx));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CollectingTracer, CountingTracer};
+    use arppath_wire::{ArpPacket, MacAddr};
+    use std::net::Ipv4Addr;
+
+    /// A device that records everything it hears and can be told to
+    /// echo frames back out of the ingress port.
+    struct Probe {
+        name: String,
+        echo: bool,
+        heard: Vec<(SimTime, PortNo, EthernetFrame)>,
+        link_events: Vec<(PortNo, bool)>,
+        timer_fires: Vec<TimerToken>,
+    }
+
+    impl Probe {
+        fn new(name: &str, echo: bool) -> Self {
+            Probe {
+                name: name.into(),
+                echo,
+                heard: Vec::new(),
+                link_events: Vec::new(),
+                timer_fires: Vec::new(),
+            }
+        }
+    }
+
+    impl Device for Probe {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn on_frame(&mut self, port: PortNo, frame: EthernetFrame, ctx: &mut Ctx) {
+            self.heard.push((ctx.now(), port, frame.clone()));
+            if self.echo {
+                ctx.send(port, frame);
+            }
+        }
+        fn on_timer(&mut self, token: TimerToken, _ctx: &mut Ctx) {
+            self.timer_fires.push(token);
+        }
+        fn on_link_status(&mut self, port: PortNo, up: bool, _ctx: &mut Ctx) {
+            self.link_events.push((port, up));
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// A device that sends `count` frames back-to-back at start.
+    struct Blaster {
+        name: String,
+        count: usize,
+    }
+
+    impl Device for Blaster {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for _ in 0..self.count {
+                ctx.send(PortNo(0), test_frame());
+            }
+        }
+        fn on_frame(&mut self, _: PortNo, _: EthernetFrame, _: &mut Ctx) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn test_frame() -> EthernetFrame {
+        EthernetFrame::arp_request(
+            MacAddr::from_index(1, 1),
+            ArpPacket::request(
+                MacAddr::from_index(1, 1),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+            ),
+        )
+    }
+
+    fn two_probes(echo_b: bool, params: LinkParams) -> (Network, NodeId, NodeId, LinkId) {
+        let mut b = NetworkBuilder::new();
+        let na = b.add(Box::new(Probe::new("a", false)));
+        let nb = b.add(Box::new(Probe::new("b", echo_b)));
+        let l = b.link(na, 0, nb, 0, params);
+        (b.build(), na, nb, l)
+    }
+
+    #[test]
+    fn delivery_time_is_exact() {
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::micros(1),
+            queue_bytes: 1 << 20,
+        };
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        b.link(tx, 0, rx, 0, params);
+        let mut net = b.build();
+        net.run_until_idle(SimTime(u64::MAX));
+        let probe = net.device::<Probe>(rx);
+        assert_eq!(probe.heard.len(), 1);
+        // 672 ns serialization + 1000 ns propagation.
+        assert_eq!(probe.heard[0].0, SimTime(1672));
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_behind_each_other() {
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_bytes: 1 << 20,
+        };
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 3 }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        b.link(tx, 0, rx, 0, params);
+        let mut net = b.build();
+        net.run_until_idle(SimTime(u64::MAX));
+        let probe = net.device::<Probe>(rx);
+        let times: Vec<u64> = probe.heard.iter().map(|(t, _, _)| t.as_nanos()).collect();
+        // Each min-size frame occupies 672 ns of line time.
+        assert_eq!(times, vec![672, 1344, 2016]);
+    }
+
+    #[test]
+    fn queue_overflow_drops_tail() {
+        // Queue sized for exactly one spare frame behind the one in
+        // flight: the third back-to-back send must drop.
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue_bytes: 60,
+        };
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 3 }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        b.link(tx, 0, rx, 0, params);
+        let mut net = b.build();
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.stats().drops_queue_full, 1);
+        assert_eq!(net.device::<Probe>(rx).heard.len(), 2);
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::micros(5),
+            queue_bytes: 1 << 20,
+        };
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
+        let rx = b.add(Box::new(Probe::new("rx", true)));
+        b.link(tx, 0, rx, 0, params);
+        let mut net = b.build();
+        // tx is a Blaster: it ignores received frames, but the engine
+        // still counts the delivery.
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.stats().frames_delivered, 2);
+        // one way: 672 + 5000; echo adds another 672 + 5000.
+        assert_eq!(net.now(), SimTime(2 * 5672));
+    }
+
+    #[test]
+    fn link_down_loses_in_flight_frames_and_notifies_endpoints() {
+        let params = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::millis(1),
+            queue_bytes: 1 << 20,
+        };
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        let l = b.link(tx, 0, rx, 0, params);
+        let mut net = b.build();
+        // Cut the cable while the frame is propagating.
+        net.schedule_link_down(l, SimTime(700 + 100));
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.device::<Probe>(rx).heard.len(), 0, "frame must be lost");
+        assert_eq!(net.stats().drops_link_down, 1);
+        assert_eq!(net.device::<Probe>(rx).link_events, vec![(PortNo(0), false)]);
+    }
+
+    #[test]
+    fn link_up_down_is_idempotent_and_recovers() {
+        let (mut net, _, nb, l) = two_probes(false, LinkParams::default());
+        net.schedule_link_down(l, SimTime(10));
+        net.schedule_link_down(l, SimTime(20)); // duplicate: no second event
+        net.schedule_link_up(l, SimTime(30));
+        net.run_until_idle(SimTime(u64::MAX));
+        let probe = net.device::<Probe>(nb);
+        assert_eq!(probe.link_events, vec![(PortNo(0), false), (PortNo(0), true)]);
+        assert!(net.link(l).up);
+    }
+
+    #[test]
+    fn sends_on_down_link_are_counted() {
+        let params = LinkParams::default();
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Probe::new("tx", true))); // echoes what it hears
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        let l = b.link(tx, 0, rx, 0, params);
+        let mut net = b.build();
+        net.schedule_link_down(l, SimTime(0));
+        net.run_until_idle(SimTime(u64::MAX));
+        // Now inject a frame into tx; its echo goes into a dead port.
+        net.inject(tx, PortNo(0), test_frame());
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.stats().drops_link_down, 1);
+        assert_eq!(net.device::<Probe>(rx).heard.len(), 0);
+    }
+
+    #[test]
+    fn send_into_uncabled_port_is_counted_not_fatal() {
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
+        let mut net = b.build();
+        let _ = tx;
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.stats().drops_no_cable, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_fifo_tiebreak() {
+        struct TimerDev {
+            fired: Vec<u64>,
+        }
+        impl Device for TimerDev {
+            fn name(&self) -> &str {
+                "timers"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.schedule(SimDuration::millis(2), TimerToken(2));
+                ctx.schedule(SimDuration::millis(1), TimerToken(1));
+                ctx.schedule(SimDuration::millis(2), TimerToken(3)); // same time as token 2
+            }
+            fn on_frame(&mut self, _: PortNo, _: EthernetFrame, _: &mut Ctx) {}
+            fn on_timer(&mut self, token: TimerToken, _: &mut Ctx) {
+                self.fired.push(token.0);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut b = NetworkBuilder::new();
+        let n = b.add(Box::new(TimerDev { fired: Vec::new() }));
+        let mut net = b.build();
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.device::<TimerDev>(n).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut b = NetworkBuilder::new();
+        let _ = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
+        let mut net = b.build();
+        net.run_until(SimTime(50));
+        assert_eq!(net.now(), SimTime(50));
+    }
+
+    #[test]
+    fn identical_scenarios_produce_identical_traces() {
+        let run = || {
+            let params = LinkParams::default();
+            let mut b = NetworkBuilder::new();
+            let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 5 }));
+            let rx = b.add(Box::new(Probe::new("rx", true)));
+            b.link(tx, 0, rx, 0, params);
+            let mut net = b.build();
+            let sink = std::rc::Rc::new(std::cell::RefCell::new(CollectingTracer::default()));
+            net.set_tracer(Box::new(sink.clone()));
+            net.run_until_idle(SimTime(u64::MAX));
+            let lines = sink.borrow().lines.clone();
+            lines
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn counting_tracer_sees_sends_and_deliveries() {
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 2 }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        b.link(tx, 0, rx, 0, LinkParams::default());
+        let sink = std::rc::Rc::new(std::cell::RefCell::new(CountingTracer::default()));
+        // Installed pre-build so the Blaster's on_start sends are seen.
+        b.set_tracer(Box::new(sink.clone()));
+        let mut net = b.build();
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(sink.borrow().sent, 2);
+        assert_eq!(sink.borrow().delivered, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already cabled")]
+    fn double_cabling_a_port_panics() {
+        let mut b = NetworkBuilder::new();
+        let x = b.add(Box::new(Probe::new("x", false)));
+        let y = b.add(Box::new(Probe::new("y", false)));
+        let z = b.add(Box::new(Probe::new("z", false)));
+        b.link(x, 0, y, 0, LinkParams::default());
+        b.link(x, 0, z, 0, LinkParams::default());
+    }
+
+    #[test]
+    fn link_stats_accumulate() {
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 4 }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        let l = b.link(tx, 0, rx, 0, LinkParams::default());
+        let mut net = b.build();
+        net.run_until_idle(SimTime(u64::MAX));
+        let s = net.link(l).stats(Dir::AtoB);
+        assert_eq!(s.tx_frames, 4);
+        assert_eq!(s.tx_bytes, 4 * 60);
+        assert_eq!(s.busy, SimDuration::nanos(4 * 672));
+        assert_eq!(net.link(l).total_tx_frames(), 4);
+    }
+}

@@ -1,0 +1,230 @@
+//! Point-to-point full-duplex links with serialization, propagation and
+//! drop-tail queueing — the three delay terms whose sum the ARP race
+//! minimizes.
+
+use crate::device::{NodeId, PortNo};
+use crate::time::SimDuration;
+use arppath_wire::EthernetFrame;
+use std::collections::VecDeque;
+
+/// Identifies a link within one network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+/// Direction across a link: A→B or B→A. Each direction has independent
+/// transmit machinery (full duplex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// From endpoint A toward endpoint B.
+    AtoB,
+    /// From endpoint B toward endpoint A.
+    BtoA,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::AtoB => Dir::BtoA,
+            Dir::BtoA => Dir::AtoB,
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Dir::AtoB => 0,
+            Dir::BtoA => 1,
+        }
+    }
+}
+
+/// Physical parameters of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Line rate in bits per second (default 1 Gbit/s, the NetFPGA demo
+    /// rate).
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+    /// Transmit queue capacity per direction, in bytes of frame data
+    /// (drop-tail beyond this).
+    pub queue_bytes: usize,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            // A few metres of copper patch in the demo rack.
+            propagation: SimDuration::nanos(500),
+            // 128 KiB — in the ballpark of one NetFPGA output queue's
+            // share of the 4 MB SRAM.
+            queue_bytes: 128 * 1024,
+        }
+    }
+}
+
+impl LinkParams {
+    /// A 1 Gbit/s link with the given propagation delay.
+    pub fn gigabit(propagation: SimDuration) -> Self {
+        LinkParams { propagation, ..Default::default() }
+    }
+
+    /// Serialization time of `frame` on this link, including preamble,
+    /// FCS and inter-frame gap.
+    pub fn serialization(&self, frame: &EthernetFrame) -> SimDuration {
+        // bits * 1e9 / bps, in u128 to avoid overflow for slow links.
+        let ns = (frame.wire_bits() as u128 * 1_000_000_000) / self.bandwidth_bps as u128;
+        SimDuration::nanos(ns as u64)
+    }
+}
+
+/// One endpoint of a link: a (device, port) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// The attached device.
+    pub node: NodeId,
+    /// The device-local port.
+    pub port: PortNo,
+}
+
+/// Per-direction transmit counters, exposed for the load-distribution
+/// experiment (E5) and utilization reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Frames fully transmitted.
+    pub tx_frames: u64,
+    /// Bytes of frame data transmitted (excluding preamble/IFG).
+    pub tx_bytes: u64,
+    /// Frames dropped because the queue was full.
+    pub dropped_queue_full: u64,
+    /// Frames dropped because the link was down when sent or in flight.
+    pub dropped_link_down: u64,
+    /// Accumulated busy time of the transmitter.
+    pub busy: SimDuration,
+}
+
+/// One direction's transmit state.
+#[derive(Debug, Default)]
+pub(crate) struct DirState {
+    /// Frame currently being serialized, if any.
+    pub transmitting: bool,
+    /// Frames awaiting the transmitter.
+    pub queue: VecDeque<EthernetFrame>,
+    /// Bytes held in `queue`.
+    pub queued_bytes: usize,
+    /// Counters.
+    pub stats: DirStats,
+}
+
+/// A full-duplex point-to-point link.
+#[derive(Debug)]
+pub struct Link {
+    /// Endpoint A (first argument of the builder call).
+    pub a: Endpoint,
+    /// Endpoint B.
+    pub b: Endpoint,
+    /// Physical parameters (shared by both directions).
+    pub params: LinkParams,
+    /// Administrative + operational state.
+    pub up: bool,
+    /// Incremented on every state flip; in-flight deliveries carry the
+    /// epoch they were launched under and are discarded if it changed
+    /// (a cable cut loses the bits already on the wire).
+    pub epoch: u64,
+    pub(crate) dirs: [DirState; 2],
+}
+
+impl Link {
+    pub(crate) fn new(a: Endpoint, b: Endpoint, params: LinkParams) -> Self {
+        Link { a, b, params, up: true, epoch: 0, dirs: [DirState::default(), DirState::default()] }
+    }
+
+    /// The endpoint a frame travelling in `dir` arrives at.
+    pub fn receiver(&self, dir: Dir) -> Endpoint {
+        match dir {
+            Dir::AtoB => self.b,
+            Dir::BtoA => self.a,
+        }
+    }
+
+    /// The endpoint that transmits in `dir`.
+    pub fn sender(&self, dir: Dir) -> Endpoint {
+        match dir {
+            Dir::AtoB => self.a,
+            Dir::BtoA => self.b,
+        }
+    }
+
+    /// Counters for one direction.
+    pub fn stats(&self, dir: Dir) -> DirStats {
+        self.dirs[dir.index()].stats
+    }
+
+    /// Combined counters of both directions.
+    pub fn total_tx_frames(&self) -> u64 {
+        self.dirs[0].stats.tx_frames + self.dirs[1].stats.tx_frames
+    }
+
+    /// Utilization of the busier direction over `elapsed`, in [0, 1].
+    pub fn peak_utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        let busiest = self.dirs.iter().map(|d| d.stats.busy.as_nanos()).max().unwrap_or(0);
+        busiest as f64 / elapsed.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arppath_wire::{ArpPacket, MacAddr};
+    use std::net::Ipv4Addr;
+
+    fn min_frame() -> EthernetFrame {
+        EthernetFrame::arp_request(
+            MacAddr::from_index(1, 1),
+            ArpPacket::request(
+                MacAddr::from_index(1, 1),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+            ),
+        )
+    }
+
+    #[test]
+    fn gigabit_serialization_of_min_frame_is_672ns() {
+        // 60B frame + 24B overhead = 672 bits at 1 ns/bit.
+        let params = LinkParams::default();
+        assert_eq!(params.serialization(&min_frame()), SimDuration::nanos(672));
+    }
+
+    #[test]
+    fn serialization_scales_with_bandwidth() {
+        let fast = LinkParams { bandwidth_bps: 10_000_000_000, ..Default::default() };
+        let slow = LinkParams { bandwidth_bps: 100_000_000, ..Default::default() };
+        assert_eq!(fast.serialization(&min_frame()), SimDuration::nanos(67)); // truncated
+        assert_eq!(slow.serialization(&min_frame()), SimDuration::nanos(6720));
+    }
+
+    #[test]
+    fn receiver_and_sender_follow_direction() {
+        let a = Endpoint { node: NodeId(0), port: PortNo(1) };
+        let b = Endpoint { node: NodeId(1), port: PortNo(2) };
+        let link = Link::new(a, b, LinkParams::default());
+        assert_eq!(link.receiver(Dir::AtoB), b);
+        assert_eq!(link.receiver(Dir::BtoA), a);
+        assert_eq!(link.sender(Dir::AtoB), a);
+        assert_eq!(link.sender(Dir::BtoA), b);
+        assert_eq!(Dir::AtoB.flip(), Dir::BtoA);
+    }
+
+    #[test]
+    fn utilization_is_zero_before_time_passes() {
+        let a = Endpoint { node: NodeId(0), port: PortNo(0) };
+        let b = Endpoint { node: NodeId(1), port: PortNo(0) };
+        let link = Link::new(a, b, LinkParams::default());
+        assert_eq!(link.peak_utilization(SimDuration::ZERO), 0.0);
+    }
+}

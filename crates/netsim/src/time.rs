@@ -1,0 +1,173 @@
+//! Simulated time: nanosecond instants and durations.
+//!
+//! The latency race that ARP-Path exploits is decided by sub-microsecond
+//! differences in serialization and queueing delay, so the simulator
+//! keeps time as integer nanoseconds — exact, overflow-checked in debug
+//! builds, and free of floating-point drift.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration in simulated nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From nanoseconds.
+    pub const fn nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// From microseconds.
+    pub const fn micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    pub const fn secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// The raw nanosecond count.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// As floating-point microseconds (for reporting only).
+    pub fn as_micros_f64(&self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// As floating-point milliseconds (for reporting only).
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// As floating-point seconds (for reporting only).
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale by an integer factor.
+    pub fn times(self, n: u64) -> SimDuration {
+        SimDuration(self.0 * n)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// An absolute instant in simulated time, nanoseconds since simulation
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`; saturates to zero if `earlier`
+    /// is in the future (callers compare clocks from different probes).
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", SimDuration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(SimDuration::secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimDuration::millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimDuration::micros(4).as_nanos(), 4_000);
+        assert_eq!(SimDuration::nanos(5).as_nanos(), 5);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::micros(10);
+        assert_eq!(t.as_nanos(), 10_000);
+        assert_eq!((t + SimDuration::micros(5)).since(t), SimDuration::micros(5));
+        // Saturation: asking "since a later time" yields zero.
+        assert_eq!(t.since(t + SimDuration::micros(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::micros(5).to_string(), "5.000us");
+        assert_eq!(SimDuration::millis(5).to_string(), "5.000ms");
+        assert_eq!(SimDuration::secs(5).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimDuration::millis(1) < SimDuration::secs(1));
+    }
+}

@@ -1,0 +1,29 @@
+//! IEEE 802.1D spanning tree — the baseline the paper's demo compares
+//! ARP-Path against (§3.1).
+//!
+//! The crate provides [`StpBridge`], a [`SwitchLogic`] implementation
+//! combining the classic STP control plane (configuration BPDUs, root
+//! election, port roles and the Blocking→Listening→Learning→Forwarding
+//! ladder, topology-change notification) with an STP-gated transparent
+//! learning data plane. Wrap it in `arppath_switch::IdealSwitch` or the
+//! NetFPGA timing model to attach it to a simulated network.
+//!
+//! What the baseline exhibits, and the experiments measure:
+//!
+//! * all traffic confined to a tree rooted at an arbitrary bridge —
+//!   host pairs whose tree path detours pay extra hops of latency
+//!   (experiment E1);
+//! * reconvergence after failure paced by max-age + 2× forward-delay,
+//!   tens of seconds with standard timers (experiment E2's foil);
+//! * blocked links carry no data at all (experiment E5's foil).
+//!
+//! [`SwitchLogic`]: arppath_switch::SwitchLogic
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod port;
+
+pub use bridge::{StpBridge, StpConfig, StpCounters};
+pub use port::{PortRole, PortState, StpPort};

@@ -1,0 +1,143 @@
+//! Per-port spanning-tree state.
+
+use arppath_netsim::SimTime;
+use arppath_wire::{BridgeId, PortId16};
+
+/// 802.1D port states. Frames are learned from in `Learning` and
+/// `Forwarding`; forwarded only in `Forwarding`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PortState {
+    /// No carrier (or administratively down); does not participate.
+    Disabled,
+    /// Loop-prevention state: discards data, still receives BPDUs.
+    Blocking,
+    /// First half of forward delay: still discarding.
+    Listening,
+    /// Second half: learning addresses, not yet forwarding.
+    Learning,
+    /// Fully active.
+    Forwarding,
+}
+
+impl PortState {
+    /// Whether source addresses may be learned in this state.
+    pub fn learns(&self) -> bool {
+        matches!(self, PortState::Learning | PortState::Forwarding)
+    }
+
+    /// Whether data frames may be forwarded to/from this state.
+    pub fn forwards(&self) -> bool {
+        matches!(self, PortState::Forwarding)
+    }
+}
+
+/// The role the spanning-tree computation assigned to a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortRole {
+    /// This bridge's path toward the root.
+    Root,
+    /// This port relays toward the segment (best bridge on the wire).
+    Designated,
+    /// Redundant path, kept blocked (classic STP's "alternate").
+    Blocked,
+    /// Not participating (no carrier).
+    Disabled,
+}
+
+/// Spanning-tree information stored per port: the best configuration
+/// seen on the attached segment, plus the timers that govern state
+/// transitions and information aging.
+#[derive(Debug, Clone)]
+pub struct StpPort {
+    /// Current 802.1D state.
+    pub state: PortState,
+    /// Current role.
+    pub role: PortRole,
+    /// Root bridge claimed by the stored segment information.
+    pub designated_root: BridgeId,
+    /// Root path cost claimed by the segment's designated bridge.
+    pub designated_cost: u32,
+    /// The segment's designated bridge.
+    pub designated_bridge: BridgeId,
+    /// The designated bridge's port on this segment.
+    pub designated_port: PortId16,
+    /// Message age of the stored information, in BPDU 1/256-s units.
+    pub stored_message_age: u16,
+    /// True when the stored information is this bridge's own
+    /// (we are — or claim to be — designated on the segment).
+    pub info_is_own: bool,
+    /// When externally received information expires (max-age horizon);
+    /// `None` for own information, which never ages.
+    pub age_deadline: Option<SimTime>,
+    /// When the port advances Listening→Learning or
+    /// Learning→Forwarding; `None` when no transition is running.
+    pub transition_at: Option<SimTime>,
+    /// Whether a config with the Topology-Change-Ack bit must be sent
+    /// on this port (in response to a TCN heard here).
+    pub send_tca: bool,
+}
+
+impl StpPort {
+    /// A fresh port on `bridge`, initially claiming itself designated
+    /// with the bridge as root (802.1D initialization).
+    pub fn new(bridge: BridgeId, port_id: PortId16, has_carrier: bool) -> Self {
+        StpPort {
+            state: if has_carrier { PortState::Blocking } else { PortState::Disabled },
+            role: if has_carrier { PortRole::Designated } else { PortRole::Disabled },
+            designated_root: bridge,
+            designated_cost: 0,
+            designated_bridge: bridge,
+            designated_port: port_id,
+            stored_message_age: 0,
+            info_is_own: true,
+            age_deadline: None,
+            transition_at: None,
+            send_tca: false,
+        }
+    }
+
+    /// Reset stored info to this bridge's own claim.
+    pub fn reclaim(&mut self, bridge: BridgeId, port_id: PortId16) {
+        self.designated_root = bridge;
+        self.designated_cost = 0;
+        self.designated_bridge = bridge;
+        self.designated_port = port_id;
+        self.stored_message_age = 0;
+        self.info_is_own = true;
+        self.age_deadline = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arppath_wire::MacAddr;
+
+    #[test]
+    fn state_predicates() {
+        assert!(!PortState::Blocking.learns());
+        assert!(!PortState::Listening.learns());
+        assert!(PortState::Learning.learns());
+        assert!(PortState::Forwarding.learns());
+        assert!(PortState::Forwarding.forwards());
+        assert!(!PortState::Learning.forwards());
+    }
+
+    #[test]
+    fn new_port_claims_self_designated() {
+        let bid = BridgeId::new(0x8000, MacAddr::from_index(2, 1));
+        let p = StpPort::new(bid, PortId16::new(0x80, 1), true);
+        assert_eq!(p.state, PortState::Blocking);
+        assert_eq!(p.role, PortRole::Designated);
+        assert!(p.info_is_own);
+        assert_eq!(p.designated_root, bid);
+    }
+
+    #[test]
+    fn uncabled_port_is_disabled() {
+        let bid = BridgeId::new(0x8000, MacAddr::from_index(2, 1));
+        let p = StpPort::new(bid, PortId16::new(0x80, 2), false);
+        assert_eq!(p.state, PortState::Disabled);
+        assert_eq!(p.role, PortRole::Disabled);
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared switching substrate for the ARP-Path reproduction.
+//!
+//! Three pieces every bridge in the repository builds on:
+//!
+//! * [`AgingMap`] — deterministic expiring tables (FIBs, lock tables,
+//!   ARP caches);
+//! * [`SwitchLogic`] — the decision-plane trait that separates a
+//!   bridge's forwarding algorithm from its timing model, so the same
+//!   ARP-Path FSM runs unmodified under the ideal (zero-latency) device
+//!   adapter here and the NetFPGA pipeline model in `arppath-netfpga`;
+//! * [`LearningSwitch`] — the classic transparent bridge data plane,
+//!   both the substrate STP gates and the storm-prone foil to ARP-Path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aging;
+pub mod ideal;
+pub mod learning;
+pub mod logic;
+
+pub use aging::{Aged, AgingMap};
+pub use ideal::IdealSwitch;
+pub use learning::{LearningConfig, LearningSwitch};
+pub use logic::{DropReason, LogicEnv, ProcessingClass, SwitchCounters, SwitchLogic};

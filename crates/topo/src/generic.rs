@@ -1,0 +1,242 @@
+//! Generic topology families: lines, rings, grids, meshes, fat-trees
+//! and random connected graphs — the scaling substrate for experiments
+//! E5–E7 and the property-based loop-freedom tests.
+
+use crate::builder::{BridgeIx, TopoBuilder};
+use arppath_netsim::{LinkParams, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A chain `B0—B1—…—B(n-1)`. Returns the bridges in order.
+pub fn line(t: &mut TopoBuilder, n: usize) -> Vec<BridgeIx> {
+    assert!(n >= 1);
+    let bridges: Vec<BridgeIx> = (0..n).map(|i| t.bridge(format!("L{i}"))).collect();
+    for w in bridges.windows(2) {
+        t.connect(w[0], w[1]);
+    }
+    bridges
+}
+
+/// A ring of `n ≥ 3` bridges.
+pub fn ring(t: &mut TopoBuilder, n: usize) -> Vec<BridgeIx> {
+    assert!(n >= 3, "a ring needs at least 3 bridges");
+    let bridges: Vec<BridgeIx> = (0..n).map(|i| t.bridge(format!("R{i}"))).collect();
+    for i in 0..n {
+        t.connect(bridges[i], bridges[(i + 1) % n]);
+    }
+    bridges
+}
+
+/// A `w × h` grid (4-neighbour mesh). Returns bridges in row-major
+/// order; `grid[y * w + x]`.
+pub fn grid(t: &mut TopoBuilder, w: usize, h: usize) -> Vec<BridgeIx> {
+    assert!(w >= 1 && h >= 1);
+    let bridges: Vec<BridgeIx> =
+        (0..w * h).map(|i| t.bridge(format!("G{}x{}", i % w, i / w))).collect();
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            if x + 1 < w {
+                t.connect(bridges[i], bridges[i + 1]);
+            }
+            if y + 1 < h {
+                t.connect(bridges[i], bridges[i + w]);
+            }
+        }
+    }
+    bridges
+}
+
+/// A full mesh over `n` bridges.
+pub fn full_mesh(t: &mut TopoBuilder, n: usize) -> Vec<BridgeIx> {
+    let bridges: Vec<BridgeIx> = (0..n).map(|i| t.bridge(format!("M{i}"))).collect();
+    for i in 0..n {
+        for j in i + 1..n {
+            t.connect(bridges[i], bridges[j]);
+        }
+    }
+    bridges
+}
+
+/// The three layers of a k-ary fat-tree.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    /// Core switches, `(k/2)²` of them.
+    pub core: Vec<BridgeIx>,
+    /// Aggregation switches, `k/2` per pod.
+    pub aggregation: Vec<BridgeIx>,
+    /// Edge switches, `k/2` per pod; attach hosts here.
+    pub edge: Vec<BridgeIx>,
+    /// Pod count (= k).
+    pub k: usize,
+}
+
+/// A k-ary fat-tree (k even, ≥ 2): the canonical data-center topology
+/// the underlying FastPath work (paper ref \[4\]) targets. Each pod has
+/// k/2 edge and k/2 aggregation switches fully bipartitely meshed;
+/// aggregation switch `j` of each pod connects to core group `j`.
+pub fn fat_tree(t: &mut TopoBuilder, k: usize) -> FatTree {
+    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+    let half = k / 2;
+    let core: Vec<BridgeIx> =
+        (0..half * half).map(|i| t.bridge(format!("C{i}"))).collect();
+    let mut aggregation = Vec::new();
+    let mut edge = Vec::new();
+    for pod in 0..k {
+        let aggs: Vec<BridgeIx> =
+            (0..half).map(|j| t.bridge(format!("A{pod}.{j}"))).collect();
+        let edges: Vec<BridgeIx> =
+            (0..half).map(|j| t.bridge(format!("E{pod}.{j}"))).collect();
+        for &a in &aggs {
+            for &e in &edges {
+                t.connect(a, e);
+            }
+        }
+        for (j, &a) in aggs.iter().enumerate() {
+            for c in 0..half {
+                t.connect(a, core[j * half + c]);
+            }
+        }
+        aggregation.extend(aggs);
+        edge.extend(edges);
+    }
+    FatTree { core, aggregation, edge, k }
+}
+
+/// A connected random graph: a uniformly random spanning tree plus
+/// `extra_edges` distinct non-tree edges, deterministic in `seed`.
+/// Link propagation delays are drawn uniformly from 1–10 µs, giving
+/// the latency race something to choose between.
+pub fn random_connected(
+    t: &mut TopoBuilder,
+    n: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> Vec<BridgeIx> {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bridges: Vec<BridgeIx> = (0..n).map(|i| t.bridge(format!("N{i}"))).collect();
+    let mut edges = std::collections::BTreeSet::new();
+    let delay = |rng: &mut StdRng| {
+        LinkParams::gigabit(SimDuration::micros(rng.gen_range(1..=10)))
+    };
+    // Random attachment tree keeps it connected.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        edges.insert((j, i));
+        let p = delay(&mut rng);
+        t.connect_with(bridges[j], bridges[i], p);
+    }
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let extra = extra_edges.min(max_extra);
+    let mut added = 0;
+    while added < extra {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if edges.insert(key) {
+            let p = delay(&mut rng);
+            t.connect_with(bridges[key.0], bridges[key.1], p);
+            added += 1;
+        }
+    }
+    bridges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BridgeKind;
+    use arppath::ArpPathConfig;
+
+    fn fresh() -> TopoBuilder {
+        TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()))
+    }
+
+    #[test]
+    fn line_and_ring_shapes() {
+        let mut t = fresh();
+        line(&mut t, 4);
+        assert_eq!(t.build().bridge_links.len(), 3);
+
+        let mut t = fresh();
+        ring(&mut t, 5);
+        assert_eq!(t.build().bridge_links.len(), 5);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let mut t = fresh();
+        grid(&mut t, 3, 4);
+        // 3x4 grid: horizontal 2*4 + vertical 3*3 = 17.
+        assert_eq!(t.build().bridge_links.len(), 17);
+    }
+
+    #[test]
+    fn full_mesh_edge_count() {
+        let mut t = fresh();
+        full_mesh(&mut t, 5);
+        assert_eq!(t.build().bridge_links.len(), 10);
+    }
+
+    #[test]
+    fn fat_tree_k4_shape() {
+        let mut t = fresh();
+        let ft = fat_tree(&mut t, 4);
+        assert_eq!(ft.core.len(), 4);
+        assert_eq!(ft.aggregation.len(), 8);
+        assert_eq!(ft.edge.len(), 8);
+        // Links: per pod 2*2 edge-agg = 4, ×4 pods = 16; agg-core: each
+        // agg has 2 uplinks, 8 aggs = 16. Total 32.
+        assert_eq!(t.build().bridge_links.len(), 32);
+    }
+
+    #[test]
+    fn random_graph_is_deterministic_and_connected() {
+        let build = |seed| {
+            let mut t = fresh();
+            random_connected(&mut t, 12, 6, seed);
+            let built = t.build();
+            built
+                .bridge_links
+                .iter()
+                .map(|&l| {
+                    let link = built.net.link(l);
+                    (link.a.node.0, link.b.node.0)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(42), build(42), "same seed, same graph");
+        assert_ne!(build(42), build(43), "different seed, different graph");
+        // Connectivity: union-find over edges.
+        let edges = build(7);
+        let mut parent: Vec<usize> = (0..12).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for (a, b) in &edges {
+            let (ra, rb) = (find(&mut parent, *a), find(&mut parent, *b));
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..12 {
+            assert_eq!(find(&mut parent, i), root, "node {i} disconnected");
+        }
+    }
+
+    #[test]
+    fn random_graph_extra_edges_capped() {
+        let mut t = fresh();
+        // Ask for far more extra edges than a 4-node graph can hold.
+        random_connected(&mut t, 4, 100, 1);
+        let built = t.build();
+        assert_eq!(built.bridge_links.len(), 6, "complete graph is the cap");
+    }
+}

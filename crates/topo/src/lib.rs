@@ -1,0 +1,15 @@
+//! Topology construction for the ARP-Path reproduction: the paper's
+//! figure topologies, generic families (line/ring/grid/mesh/fat-tree/
+//! random), and the [`TopoBuilder`] that instantiates any of them with
+//! any bridge protocol + timing model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod figures;
+pub mod generic;
+
+pub use builder::{BridgeIx, BridgeKind, BuiltTopology, TopoBuilder};
+pub use figures::{fig2_topology, fig3_topology, Fig1, Fig2, Fig3};
+pub use generic::{fat_tree, full_mesh, grid, line, random_connected, ring, FatTree};

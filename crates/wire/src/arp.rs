@@ -1,0 +1,216 @@
+//! ARP (RFC 826) over Ethernet/IPv4.
+//!
+//! ARP frames are the heart of the reproduced system: ARP-Path bridges
+//! snoop the broadcast Request race to discover minimum-latency paths
+//! (paper §2.1.1) and the unicast Reply to confirm them (§2.1.2).
+
+use crate::{be16, MacAddr, ParseError, ParseResult};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// ARP operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has (flooded; the path-discovering frame in ARP-Path).
+    Request,
+    /// Is-at (unicast; the path-confirming frame in ARP-Path).
+    Reply,
+}
+
+impl ArpOp {
+    fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+
+    fn from_u16(v: u16) -> ParseResult<Self> {
+        match v {
+            1 => Ok(ArpOp::Request),
+            2 => Ok(ArpOp::Reply),
+            other => Err(ParseError::BadField { what: "arp", field: "oper", value: other as u64 }),
+        }
+    }
+}
+
+/// An ARP packet for the Ethernet/IPv4 combination (HTYPE 1, PTYPE
+/// 0x0800, HLEN 6, PLEN 4 — the only combination the simulated LAN uses;
+/// anything else is a decode error counted by the bridges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation: request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sha: MacAddr,
+    /// Sender protocol (IPv4) address.
+    pub spa: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub tha: MacAddr,
+    /// Target protocol (IPv4) address.
+    pub tpa: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Wire length of an Ethernet/IPv4 ARP packet.
+    pub const LEN: usize = 28;
+
+    /// Build the broadcast Request `sha/spa` sends to resolve `tpa`.
+    pub fn request(sha: MacAddr, spa: Ipv4Addr, tpa: Ipv4Addr) -> Self {
+        ArpPacket { op: ArpOp::Request, sha, spa, tha: MacAddr::ZERO, tpa }
+    }
+
+    /// Build the unicast Reply answering `request` from `sha/spa`.
+    pub fn reply_to(request: &ArpPacket, sha: MacAddr, spa: Ipv4Addr) -> Self {
+        ArpPacket { op: ArpOp::Reply, sha, spa, tha: request.sha, tpa: request.spa }
+    }
+
+    /// Decode from `buf` (ignoring any trailing padding).
+    pub fn parse(buf: &[u8]) -> ParseResult<Self> {
+        crate::need(buf, Self::LEN, "arp")?;
+        let htype = be16(buf, 0);
+        if htype != 1 {
+            return Err(ParseError::BadField { what: "arp", field: "htype", value: htype as u64 });
+        }
+        let ptype = be16(buf, 2);
+        if ptype != 0x0800 {
+            return Err(ParseError::BadField { what: "arp", field: "ptype", value: ptype as u64 });
+        }
+        if buf[4] != 6 {
+            return Err(ParseError::BadField { what: "arp", field: "hlen", value: buf[4] as u64 });
+        }
+        if buf[5] != 4 {
+            return Err(ParseError::BadField { what: "arp", field: "plen", value: buf[5] as u64 });
+        }
+        let op = ArpOp::from_u16(be16(buf, 6))?;
+        let sha = MacAddr::parse(&buf[8..14])?;
+        let spa = Ipv4Addr::new(buf[14], buf[15], buf[16], buf[17]);
+        let tha = MacAddr::parse(&buf[18..24])?;
+        let tpa = Ipv4Addr::new(buf[24], buf[25], buf[26], buf[27]);
+        Ok(ArpPacket { op, sha, spa, tha, tpa })
+    }
+
+    /// Encode onto `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: IPv4
+        out.push(6); // hlen
+        out.push(4); // plen
+        out.extend_from_slice(&self.op.to_u16().to_be_bytes());
+        self.sha.emit(out);
+        out.extend_from_slice(&self.spa.octets());
+        self.tha.emit(out);
+        out.extend_from_slice(&self.tpa.octets());
+    }
+}
+
+impl fmt::Display for ArpPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            ArpOp::Request => write!(f, "arp who-has {} tell {} ({})", self.tpa, self.spa, self.sha),
+            ArpOp::Reply => write!(f, "arp {} is-at {} (to {})", self.spa, self.sha, self.tpa),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_request() -> ArpPacket {
+        ArpPacket::request(
+            MacAddr::from_index(1, 7),
+            Ipv4Addr::new(10, 0, 0, 7),
+            Ipv4Addr::new(10, 0, 0, 9),
+        )
+    }
+
+    #[test]
+    fn request_has_zero_tha() {
+        let r = sample_request();
+        assert_eq!(r.op, ArpOp::Request);
+        assert_eq!(r.tha, MacAddr::ZERO);
+    }
+
+    #[test]
+    fn reply_swaps_roles() {
+        let req = sample_request();
+        let responder = MacAddr::from_index(1, 9);
+        let rep = ArpPacket::reply_to(&req, responder, req.tpa);
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.sha, responder);
+        assert_eq!(rep.tha, req.sha);
+        assert_eq!(rep.tpa, req.spa);
+        assert_eq!(rep.spa, req.tpa);
+    }
+
+    #[test]
+    fn parse_emit_identity() {
+        let req = sample_request();
+        let mut buf = Vec::new();
+        req.emit(&mut buf);
+        assert_eq!(buf.len(), ArpPacket::LEN);
+        assert_eq!(ArpPacket::parse(&buf).unwrap(), req);
+    }
+
+    #[test]
+    fn trailing_padding_is_ignored() {
+        // ARP rides in 60-byte minimum Ethernet frames, so decoders must
+        // tolerate padding after the 28 ARP bytes.
+        let mut buf = Vec::new();
+        sample_request().emit(&mut buf);
+        buf.resize(46, 0);
+        assert_eq!(ArpPacket::parse(&buf).unwrap(), sample_request());
+    }
+
+    #[test]
+    fn rejects_wrong_hardware_type() {
+        let mut buf = Vec::new();
+        sample_request().emit(&mut buf);
+        buf[1] = 6; // HTYPE = IEEE 802 (token ring era)
+        assert!(matches!(
+            ArpPacket::parse(&buf),
+            Err(ParseError::BadField { field: "htype", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let mut buf = Vec::new();
+        sample_request().emit(&mut buf);
+        buf[7] = 9;
+        assert!(matches!(ArpPacket::parse(&buf), Err(ParseError::BadField { field: "oper", .. })));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        sample_request().emit(&mut buf);
+        assert!(ArpPacket::parse(&buf[..27]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_packet(
+            op in prop_oneof![Just(ArpOp::Request), Just(ArpOp::Reply)],
+            sha: [u8; 6], spa: [u8; 4], tha: [u8; 6], tpa: [u8; 4],
+        ) {
+            let pkt = ArpPacket {
+                op,
+                sha: MacAddr(sha),
+                spa: Ipv4Addr::from(spa),
+                tha: MacAddr(tha),
+                tpa: Ipv4Addr::from(tpa),
+            };
+            let mut buf = Vec::new();
+            pkt.emit(&mut buf);
+            prop_assert_eq!(ArpPacket::parse(&buf).unwrap(), pkt);
+        }
+
+        #[test]
+        fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = ArpPacket::parse(&bytes);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! ICMP echo request/reply — the probe the latency experiments use,
+//! standing in for the demo's ping-driven latency graphs.
+
+use crate::ipv4::internet_checksum;
+use crate::{be16, ParseError, ParseResult};
+use bytes::Bytes;
+use std::fmt;
+
+/// An ICMP echo request or reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpEcho {
+    /// `true` = echo request (type 8), `false` = echo reply (type 0).
+    pub is_request: bool,
+    /// Identifier, used by hosts to demultiplex concurrent pings.
+    pub ident: u16,
+    /// Sequence number of this probe.
+    pub seq: u16,
+    /// Probe payload; the ping application embeds its send timestamp here.
+    pub payload: Bytes,
+}
+
+impl IcmpEcho {
+    /// Fixed header length.
+    pub const HEADER_LEN: usize = 8;
+
+    /// Build an echo request.
+    pub fn request(ident: u16, seq: u16, payload: Bytes) -> Self {
+        IcmpEcho { is_request: true, ident, seq, payload }
+    }
+
+    /// Build the reply mirroring `req` (identifier, sequence and payload
+    /// are echoed verbatim, per RFC 792).
+    pub fn reply_to(req: &IcmpEcho) -> Self {
+        IcmpEcho { is_request: false, ident: req.ident, seq: req.seq, payload: req.payload.clone() }
+    }
+
+    /// Total wire length.
+    pub fn wire_len(&self) -> usize {
+        Self::HEADER_LEN + self.payload.len()
+    }
+
+    /// Decode and verify the ICMP checksum.
+    pub fn parse(buf: &[u8]) -> ParseResult<Self> {
+        crate::need(buf, Self::HEADER_LEN, "icmp")?;
+        let is_request = match buf[0] {
+            8 => true,
+            0 => false,
+            other => {
+                return Err(ParseError::BadField { what: "icmp", field: "type", value: other as u64 })
+            }
+        };
+        if buf[1] != 0 {
+            return Err(ParseError::BadField { what: "icmp", field: "code", value: buf[1] as u64 });
+        }
+        if internet_checksum(buf) != 0 {
+            return Err(ParseError::BadChecksum { what: "icmp" });
+        }
+        Ok(IcmpEcho {
+            is_request,
+            ident: be16(buf, 4),
+            seq: be16(buf, 6),
+            payload: Bytes::copy_from_slice(&buf[Self::HEADER_LEN..]),
+        })
+    }
+
+    /// Encode onto `out`, computing the checksum over header + payload.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(if self.is_request { 8 } else { 0 });
+        out.push(0); // code
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let csum = internet_checksum(&out[start..]);
+        out[start + 2..start + 4].copy_from_slice(&csum.to_be_bytes());
+    }
+}
+
+impl fmt::Display for IcmpEcho {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "icmp echo-{} id {} seq {}",
+            if self.is_request { "request" } else { "reply" },
+            self.ident,
+            self.seq
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_emit_identity() {
+        let e = IcmpEcho::request(42, 7, Bytes::from_static(b"timestamp:123456"));
+        let mut buf = Vec::new();
+        e.emit(&mut buf);
+        assert_eq!(buf.len(), e.wire_len());
+        assert_eq!(IcmpEcho::parse(&buf).unwrap(), e);
+    }
+
+    #[test]
+    fn reply_echoes_request_fields() {
+        let req = IcmpEcho::request(1, 2, Bytes::from_static(b"x"));
+        let rep = IcmpEcho::reply_to(&req);
+        assert!(!rep.is_request);
+        assert_eq!(rep.ident, req.ident);
+        assert_eq!(rep.seq, req.seq);
+        assert_eq!(rep.payload, req.payload);
+    }
+
+    #[test]
+    fn corrupt_byte_fails_checksum() {
+        let e = IcmpEcho::request(42, 7, Bytes::from_static(b"abcdef"));
+        let mut buf = Vec::new();
+        e.emit(&mut buf);
+        buf[6] ^= 0x40;
+        assert!(matches!(IcmpEcho::parse(&buf), Err(ParseError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn rejects_non_echo_types() {
+        let e = IcmpEcho::request(1, 1, Bytes::new());
+        let mut buf = Vec::new();
+        e.emit(&mut buf);
+        buf[0] = 3; // destination unreachable
+        assert!(matches!(IcmpEcho::parse(&buf), Err(ParseError::BadField { field: "type", .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_echo(
+            is_request: bool, ident: u16, seq: u16,
+            payload in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let e = IcmpEcho { is_request, ident, seq, payload: Bytes::from(payload) };
+            let mut buf = Vec::new();
+            e.emit(&mut buf);
+            prop_assert_eq!(IcmpEcho::parse(&buf).unwrap(), e);
+        }
+
+        #[test]
+        fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = IcmpEcho::parse(&bytes);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Minimal libpcap (nanosecond-precision) trace writer.
+//!
+//! The NetFPGA demo visualized traffic with a GUI; our equivalent is a
+//! standard pcap file of every frame a probe point sees, which opens
+//! directly in Wireshark/tcpdump. Only writing is supported — the
+//! simulator never needs to read traces back.
+
+use crate::EthernetFrame;
+use std::io::{self, Write};
+
+/// Magic number selecting nanosecond timestamp resolution.
+const PCAP_MAGIC_NS: u32 = 0xa1b2_3c4d;
+/// Link type LINKTYPE_ETHERNET.
+const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Streams frames into any [`Write`] sink in libpcap format.
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    frames_written: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Create a writer and emit the global header.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(&PCAP_MAGIC_NS.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&65535u32.to_le_bytes())?; // snaplen
+        sink.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(PcapWriter { sink, frames_written: 0 })
+    }
+
+    /// Append one frame observed at `timestamp_ns` since simulation start.
+    pub fn write_frame(&mut self, timestamp_ns: u64, frame: &EthernetFrame) -> io::Result<()> {
+        let bytes = frame.to_bytes();
+        let secs = (timestamp_ns / 1_000_000_000) as u32;
+        let nanos = (timestamp_ns % 1_000_000_000) as u32;
+        self.sink.write_all(&secs.to_le_bytes())?;
+        self.sink.write_all(&nanos.to_le_bytes())?;
+        self.sink.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&bytes)?;
+        self.frames_written += 1;
+        Ok(())
+    }
+
+    /// Number of frames written so far.
+    pub fn frames_written(&self) -> u64 {
+        self.frames_written
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArpPacket, MacAddr};
+    use std::net::Ipv4Addr;
+
+    fn sample_frame() -> EthernetFrame {
+        EthernetFrame::arp_request(
+            MacAddr::from_index(1, 1),
+            ArpPacket::request(
+                MacAddr::from_index(1, 1),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+            ),
+        )
+    }
+
+    #[test]
+    fn global_header_has_ns_magic_and_ethernet_linktype() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), 24);
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), PCAP_MAGIC_NS);
+        assert_eq!(u32::from_le_bytes(buf[20..24].try_into().unwrap()), LINKTYPE_ETHERNET);
+    }
+
+    #[test]
+    fn record_header_carries_split_timestamp_and_length() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let ts = 3_500_000_042u64; // 3.500000042 s
+        w.write_frame(ts, &sample_frame()).unwrap();
+        assert_eq!(w.frames_written(), 1);
+        let buf = w.finish().unwrap();
+        let rec = &buf[24..];
+        assert_eq!(u32::from_le_bytes(rec[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(rec[4..8].try_into().unwrap()), 500_000_042);
+        let incl = u32::from_le_bytes(rec[8..12].try_into().unwrap()) as usize;
+        assert_eq!(incl, sample_frame().to_bytes().len());
+        assert_eq!(rec[16..].len(), incl);
+    }
+
+    #[test]
+    fn frames_append_sequentially() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..5 {
+            w.write_frame(i * 1000, &sample_frame()).unwrap();
+        }
+        assert_eq!(w.frames_written(), 5);
+        let buf = w.finish().unwrap();
+        let per_record = 16 + sample_frame().to_bytes().len();
+        assert_eq!(buf.len(), 24 + 5 * per_record);
+    }
+}

@@ -1,0 +1,141 @@
+//! UDP datagrams (RFC 768), the transport of the streaming workload.
+
+use crate::{be16, ParseError, ParseResult};
+use bytes::Bytes;
+use std::fmt;
+
+/// A UDP datagram. The checksum is carried but computed over the payload
+/// only (checksum 0 = disabled is also accepted), because the simulator's
+/// frames cannot be corrupted between emit and parse except by explicit
+/// fault injection — which flips payload bytes, and those are covered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl UdpDatagram {
+    /// Fixed header length.
+    pub const HEADER_LEN: usize = 8;
+
+    /// Construct a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: Bytes) -> Self {
+        UdpDatagram { src_port, dst_port, payload }
+    }
+
+    /// Total wire length.
+    pub fn wire_len(&self) -> usize {
+        Self::HEADER_LEN + self.payload.len()
+    }
+
+    /// Decode from `buf`, honouring the declared length (trailing bytes
+    /// beyond it — Ethernet padding — are ignored).
+    pub fn parse(buf: &[u8]) -> ParseResult<Self> {
+        crate::need(buf, Self::HEADER_LEN, "udp")?;
+        let len = be16(buf, 4) as usize;
+        if len < Self::HEADER_LEN || len > buf.len() {
+            return Err(ParseError::LengthMismatch { what: "udp", declared: len, actual: buf.len() });
+        }
+        let payload = Bytes::copy_from_slice(&buf[Self::HEADER_LEN..len]);
+        let declared = be16(buf, 6);
+        if declared != 0 {
+            let computed = crate::ipv4::internet_checksum(&payload);
+            let computed = if computed == 0 { 0xffff } else { computed };
+            if computed != declared {
+                return Err(ParseError::BadChecksum { what: "udp" });
+            }
+        }
+        Ok(UdpDatagram { src_port: be16(buf, 0), dst_port: be16(buf, 2), payload })
+    }
+
+    /// Encode onto `out` with a payload checksum.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&(self.wire_len() as u16).to_be_bytes());
+        let csum = crate::ipv4::internet_checksum(&self.payload);
+        let csum = if csum == 0 { 0xffff } else { csum };
+        out.extend_from_slice(&csum.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+}
+
+impl fmt::Display for UdpDatagram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "udp {} > {} len {}", self.src_port, self.dst_port, self.payload.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_emit_identity() {
+        let d = UdpDatagram::new(5004, 5005, Bytes::from_static(b"gop-frame-0001"));
+        let mut buf = Vec::new();
+        d.emit(&mut buf);
+        assert_eq!(buf.len(), d.wire_len());
+        assert_eq!(UdpDatagram::parse(&buf).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let d = UdpDatagram::new(1, 2, Bytes::new());
+        let mut buf = Vec::new();
+        d.emit(&mut buf);
+        assert_eq!(UdpDatagram::parse(&buf).unwrap(), d);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let d = UdpDatagram::new(9, 10, Bytes::from_static(b"payload"));
+        let mut buf = Vec::new();
+        d.emit(&mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert!(matches!(UdpDatagram::parse(&buf), Err(ParseError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn zero_checksum_means_disabled() {
+        let d = UdpDatagram::new(9, 10, Bytes::from_static(b"payload"));
+        let mut buf = Vec::new();
+        d.emit(&mut buf);
+        buf[6] = 0;
+        buf[7] = 0;
+        assert_eq!(UdpDatagram::parse(&buf).unwrap(), d);
+    }
+
+    #[test]
+    fn rejects_short_declared_length() {
+        let d = UdpDatagram::new(9, 10, Bytes::from_static(b"xx"));
+        let mut buf = Vec::new();
+        d.emit(&mut buf);
+        buf[5] = 4; // declared len < header
+        assert!(matches!(UdpDatagram::parse(&buf), Err(ParseError::LengthMismatch { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_datagram(
+            sp: u16, dp: u16,
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let d = UdpDatagram::new(sp, dp, Bytes::from(payload));
+            let mut buf = Vec::new();
+            d.emit(&mut buf);
+            prop_assert_eq!(UdpDatagram::parse(&buf).unwrap(), d);
+        }
+
+        #[test]
+        fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = UdpDatagram::parse(&bytes);
+        }
+    }
+}

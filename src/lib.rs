@@ -1,0 +1,1 @@
+pub use arppath as core_protocol;

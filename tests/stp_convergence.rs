@@ -1,0 +1,137 @@
+//! The STP baseline must actually be a correct spanning-tree
+//! implementation, or the paper's comparison would be against a straw
+//! man: on random connected graphs the protocol must elect exactly one
+//! root, produce an acyclic set of forwarding links, and keep every
+//! bridge connected to the tree.
+
+use arppath_netsim::{PortNo, SimDuration, SimTime};
+use arppath_stp::{PortState, StpConfig};
+use arppath_topo::{generic, BridgeIx, BridgeKind, TopoBuilder};
+
+/// Build a random graph of STP bridges, run to convergence, and return
+/// (per-bridge roots, forwarding adjacency as edge list).
+fn converge(seed: u64, n: usize, extra: usize) -> (Vec<String>, Vec<(usize, usize)>, usize) {
+    // Scaled timers: convergence in ~0.5 simulated seconds.
+    let cfg = StpConfig::scaled_down(100);
+    let mut t = TopoBuilder::new(BridgeKind::Stp(cfg));
+    let bridges = generic::random_connected(&mut t, n, extra, seed);
+    let mut built = t.build();
+    built.net.run_until(SimTime(SimDuration::secs(2).as_nanos()));
+
+    let roots: Vec<String> =
+        (0..n).map(|i| built.stp(BridgeIx(i)).root_bridge().to_string()).collect();
+
+    // A link is a tree link when *both* endpoint ports forward.
+    let mut tree_edges = Vec::new();
+    for &lid in &built.bridge_links {
+        let link = built.net.link(lid);
+        let (a, b) = (link.a, link.b);
+        let a_ix = built.bridge_nodes.iter().position(|&x| x == a.node).unwrap();
+        let b_ix = built.bridge_nodes.iter().position(|&x| x == b.node).unwrap();
+        let a_fwd = built.stp(BridgeIx(a_ix)).port_state(PortNo(a.port.0)) == PortState::Forwarding;
+        let b_fwd = built.stp(BridgeIx(b_ix)).port_state(PortNo(b.port.0)) == PortState::Forwarding;
+        if a_fwd && b_fwd {
+            tree_edges.push((a_ix, b_ix));
+        }
+    }
+    let _ = bridges;
+    (roots, tree_edges, n)
+}
+
+fn assert_is_spanning_tree(roots: &[String], edges: &[(usize, usize)], n: usize, seed: u64) {
+    // Single agreed root.
+    let first = &roots[0];
+    assert!(
+        roots.iter().all(|r| r == first),
+        "seed {seed}: bridges disagree about the root: {roots:?}"
+    );
+    // A spanning tree over n nodes has exactly n-1 edges...
+    assert_eq!(edges.len(), n - 1, "seed {seed}: tree must have n-1 forwarding links");
+    // ...and connects everything without cycles (union-find).
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut Vec<usize>, x: usize) -> usize {
+        if p[x] != x {
+            let r = find(p, p[x]);
+            p[x] = r;
+        }
+        p[x]
+    }
+    for &(a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        assert_ne!(ra, rb, "seed {seed}: cycle among forwarding links");
+        parent[ra] = rb;
+    }
+    let root = find(&mut parent, 0);
+    for i in 1..n {
+        assert_eq!(find(&mut parent, i), root, "seed {seed}: bridge {i} cut off the tree");
+    }
+}
+
+#[test]
+fn random_graphs_converge_to_spanning_trees() {
+    for seed in [3, 11, 77] {
+        let (roots, edges, n) = converge(seed, 8, 6);
+        assert_is_spanning_tree(&roots, &edges, n, seed);
+    }
+}
+
+#[test]
+fn denser_graphs_converge_too() {
+    let (roots, edges, n) = converge(5, 10, 20);
+    assert_is_spanning_tree(&roots, &edges, n, 5);
+}
+
+#[test]
+fn root_is_the_lowest_bridge_id() {
+    // Bridge 0 gets the lowest MAC (from_index(2, 1)); with equal
+    // priorities it must win every election.
+    let (roots, _, _) = converge(9, 6, 4);
+    assert!(roots[0].ends_with("02:02:00:00:00:01"), "unexpected root {}", roots[0]);
+}
+
+#[test]
+fn failure_triggers_reconvergence_to_a_new_tree() {
+    let cfg = StpConfig::scaled_down(100);
+    let mut t = TopoBuilder::new(BridgeKind::Stp(cfg));
+    let bridges = generic::ring(&mut t, 5);
+    let mut built = t.build();
+    built.net.run_until(SimTime(SimDuration::secs(2).as_nanos()));
+
+    // On a ring exactly one link is blocked; cut a *tree* link instead
+    // and the blocked one must come alive.
+    let tree_link = built
+        .bridge_links
+        .iter()
+        .copied()
+        .find(|&lid| {
+            let link = built.net.link(lid);
+            let a_ix = built.bridge_nodes.iter().position(|&x| x == link.a.node).unwrap();
+            let b_ix = built.bridge_nodes.iter().position(|&x| x == link.b.node).unwrap();
+            built.stp(BridgeIx(a_ix)).port_state(PortNo(link.a.port.0)) == PortState::Forwarding
+                && built.stp(BridgeIx(b_ix)).port_state(PortNo(link.b.port.0))
+                    == PortState::Forwarding
+        })
+        .expect("a tree link exists");
+    let now = built.net.now();
+    built.net.schedule_link_down(tree_link, now + SimDuration::millis(10));
+    built.net.run_for(SimDuration::secs(3));
+
+    // After reconvergence the 4 remaining links must all forward (the
+    // ring minus one link is a line: its tree uses every edge).
+    let mut forwarding = 0;
+    for &lid in &built.bridge_links {
+        if lid == tree_link {
+            continue;
+        }
+        let link = built.net.link(lid);
+        let a_ix = built.bridge_nodes.iter().position(|&x| x == link.a.node).unwrap();
+        let b_ix = built.bridge_nodes.iter().position(|&x| x == link.b.node).unwrap();
+        if built.stp(BridgeIx(a_ix)).port_state(PortNo(link.a.port.0)) == PortState::Forwarding
+            && built.stp(BridgeIx(b_ix)).port_state(PortNo(link.b.port.0)) == PortState::Forwarding
+        {
+            forwarding += 1;
+        }
+    }
+    assert_eq!(forwarding, 4, "all surviving ring links must join the new tree");
+    let _ = bridges;
+}
