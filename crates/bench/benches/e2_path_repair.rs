@@ -22,9 +22,7 @@ fn bench_e2(c: &mut Criterion) {
     g.bench_function("arppath_5s_stream_2cuts", |b| {
         b.iter(|| run_variant(E2Variant::ArpPath, &quick()))
     });
-    g.bench_function("stp_5s_stream_2cuts", |b| {
-        b.iter(|| run_variant(E2Variant::Stp, &quick()))
-    });
+    g.bench_function("stp_5s_stream_2cuts", |b| b.iter(|| run_variant(E2Variant::Stp, &quick())));
     g.finish();
 }
 

@@ -41,9 +41,7 @@ fn bench_parse(c: &mut Criterion) {
 fn bench_emit(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire/emit");
     let arp = EthernetFrame::parse(&arp_frame_bytes()).unwrap();
-    g.bench_function("arp_request_60B", |b| {
-        b.iter(|| black_box(&arp).to_bytes())
-    });
+    g.bench_function("arp_request_60B", |b| b.iter(|| black_box(&arp).to_bytes()));
     let udp = EthernetFrame::parse(&udp_frame_bytes(1000)).unwrap();
     g.bench_function("udp_1034B", |b| b.iter(|| black_box(&udp).to_bytes()));
     g.finish();

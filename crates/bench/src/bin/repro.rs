@@ -8,7 +8,9 @@
 //!
 //! Output is the markdown tables recorded in `EXPERIMENTS.md`.
 
-use arppath_bench::experiments::{e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation};
+use arppath_bench::experiments::{
+    e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation,
+};
 use arppath_netsim::SimDuration;
 
 fn main() {
@@ -20,8 +22,11 @@ fn main() {
 
     if want("e1") {
         eprintln!("[repro] running E1 (Fig. 2 latency, ARP-Path vs STP root sweep)...");
-        let params =
-            if quick { e1_latency::E1Params { probes: 20, ..Default::default() } } else { Default::default() };
+        let params = if quick {
+            e1_latency::E1Params { probes: 20, ..Default::default() }
+        } else {
+            Default::default()
+        };
         let mut result = e1_latency::run(&params);
         println!("{}", e1_latency::table(&mut result).render_markdown());
         println!(

@@ -196,9 +196,8 @@ fn run_size(frame_len: usize, params: &E3Params) -> E3Row {
     // Bounded horizon: the bridge's hello beacons keep the event queue
     // alive forever, so "run until idle" would never return. Everything
     // is delivered well within offered-load time plus a margin.
-    let horizon = SimDuration::nanos(
-        interval.as_nanos() * (params.frames_per_size + 10) + 1_000_000,
-    );
+    let horizon =
+        SimDuration::nanos(interval.as_nanos() * (params.frames_per_size + 10) + 1_000_000);
     net.run_until(SimTime(horizon.as_nanos()));
     let sink = net.device::<Sink>(rx);
     let delivered = sink.received;
@@ -224,7 +223,15 @@ fn run_size(frame_len: usize, params: &E3Params) -> E3Row {
 pub fn table(result: &E3Result) -> Table {
     let mut t = Table::new(
         "E3 (§3): ARP-Path/NetFPGA forwarding at 1 Gbit/s, frame-size sweep",
-        &["frame (B)", "offered", "delivered", "line-rate pps", "measured pps", "ratio", "pipeline (ns)"],
+        &[
+            "frame (B)",
+            "offered",
+            "delivered",
+            "line-rate pps",
+            "measured pps",
+            "ratio",
+            "pipeline (ns)",
+        ],
     );
     for r in &result.rows {
         t.row(&[
@@ -243,7 +250,8 @@ pub fn table(result: &E3Result) -> Table {
 /// Line rate holds when every size point delivered everything at ≥99%
 /// of the theoretical rate.
 pub fn verify_linerate(result: &E3Result) -> bool {
-    result.rows.iter().all(|r| {
-        r.delivered == r.offered && r.measured_pps / r.theoretical_pps > 0.99
-    })
+    result
+        .rows
+        .iter()
+        .all(|r| r.delivered == r.offered && r.measured_pps / r.theoretical_pps > 0.99)
 }

@@ -145,7 +145,14 @@ pub fn run(params: &E6Params) -> E6Result {
 pub fn table(result: &E6Result) -> Table {
     let mut t = Table::new(
         "E6 (§2.2, ref [5]): in-switch ARP proxy broadcast suppression",
-        &["config", "client ARP reqs", "request flood events", "proxy replies", "server ARP load", "resolved"],
+        &[
+            "config",
+            "client ARP reqs",
+            "request flood events",
+            "proxy replies",
+            "server ARP load",
+            "resolved",
+        ],
     );
     for r in &result.rows {
         t.row(&[

@@ -111,11 +111,7 @@ fn run_point(cfg: ArpPathConfig, label: String, probes: u64, pressure_pairs: u32
         sent: prober.sent(),
         repairs,
         table_full,
-        median_rtt_us: if rtt.is_empty() {
-            f64::NAN
-        } else {
-            rtt.percentile(50.0) as f64 / 1e3
-        },
+        median_rtt_us: if rtt.is_empty() { f64::NAN } else { rtt.percentile(50.0) as f64 / 1e3 },
     }
 }
 
@@ -128,12 +124,7 @@ pub fn run(params: &E7Params) -> E7Result {
     }
     for &cap in &params.capacities {
         let cfg = ArpPathConfig::default().with_table_capacity(cap);
-        rows.push(run_point(
-            cfg,
-            format!("table={cap}"),
-            params.probes,
-            params.pressure_pairs,
-        ));
+        rows.push(run_point(cfg, format!("table={cap}"), params.probes, params.pressure_pairs));
     }
     E7Result { rows }
 }

@@ -34,10 +34,10 @@ use crate::config::ArpPathConfig;
 use crate::counters::ArpPathCounters;
 use crate::entry::{EntryState, PathEntry};
 use arppath_netsim::{PortNo, SimTime, TimerToken};
-use arppath_switch::{AgingMap, DropReason, LogicEnv, ProcessingClass, SwitchCounters, SwitchLogic};
-use arppath_wire::{
-    ArpOp, ArpPacket, EthernetFrame, MacAddr, PathCtl, PathCtlKind, Payload,
+use arppath_switch::{
+    AgingMap, DropReason, LogicEnv, ProcessingClass, SwitchCounters, SwitchLogic,
 };
+use arppath_wire::{ArpOp, ArpPacket, EthernetFrame, MacAddr, PathCtl, PathCtlKind, Payload};
 use std::net::Ipv4Addr;
 
 /// Timer cookie: periodic BridgeHello beacon.
@@ -146,7 +146,13 @@ impl ArpPathBridge {
     /// Insert honouring the optional hardware capacity bound. Existing
     /// keys always replace in place; new keys are refused when the
     /// table is full even after sweeping expired entries.
-    fn try_insert(&mut self, mac: MacAddr, entry: PathEntry, expires: SimTime, now: SimTime) -> bool {
+    fn try_insert(
+        &mut self,
+        mac: MacAddr,
+        entry: PathEntry,
+        expires: SimTime,
+        now: SimTime,
+    ) -> bool {
         if let Some(cap) = self.config.table_capacity {
             if self.table.peek(&mac, now).is_none() && self.table.len() >= cap {
                 self.table.sweep(now);
@@ -199,11 +205,7 @@ impl ArpPathBridge {
                             // First copy: take the entry over, displacing
                             // stale learnt state (the very thing repair
                             // exists to fix) or older waves.
-                            self.table.insert(
-                                src,
-                                PathEntry::repair_locked(port, n),
-                                lock_expiry,
-                            );
+                            self.table.insert(src, PathEntry::repair_locked(port, n), lock_expiry);
                             self.ap.locks_created += 1;
                         }
                     }
@@ -273,10 +275,8 @@ impl ArpPathBridge {
             // safe when unicast toward the target can actually be
             // forwarded from here.
             if let Some(&target_mac) = self.proxy_cache.get(&arp.tpa, now) {
-                let has_path = self
-                    .table
-                    .get(&target_mac, now)
-                    .is_some_and(|e| e.state == EntryState::Learnt);
+                let has_path =
+                    self.table.get(&target_mac, now).is_some_and(|e| e.state == EntryState::Learnt);
                 if has_path {
                     let reply = ArpPacket::reply_to(&arp, target_mac, arp.tpa);
                     env.transmit(port, EthernetFrame::arp_reply(reply));
@@ -796,7 +796,11 @@ mod tests {
     /// Mark `port` as core by feeding a hello from a peer bridge.
     fn make_core(br: &mut ArpPathBridge, port: usize, now: SimTime) {
         let hello = PathCtl::hello(MacAddr::from_index(2, 99), 1);
-        let f = EthernetFrame::new(MacAddr::BROADCAST, MacAddr::from_index(2, 99), Payload::PathCtl(hello));
+        let f = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            MacAddr::from_index(2, 99),
+            Payload::PathCtl(hello),
+        );
         feed(br, port, f, now);
     }
 
@@ -875,7 +879,7 @@ mod tests {
         // Keep sending data every 5 ms for 50 ms: entry must survive.
         let mut t = SimTime(1000);
         for _ in 0..10 {
-            t = t + SimDuration::millis(5);
+            t += SimDuration::millis(5);
             let out = feed(&mut br, 1, data_frame(1, 2), t);
             assert_eq!(out, vec![2], "path must stay alive under traffic at {t}");
         }
@@ -959,7 +963,9 @@ mod tests {
         let out = feed_frames(&mut br, 2, f, SimTime(1000));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, 1, "relayed along the source's entry");
-        assert!(matches!(&out[0].1.payload, Payload::PathCtl(c) if c.kind == PathCtlKind::PathFail));
+        assert!(
+            matches!(&out[0].1.payload, Payload::PathCtl(c) if c.kind == PathCtlKind::PathFail)
+        );
     }
 
     #[test]
@@ -972,9 +978,9 @@ mod tests {
         let out = feed_frames(&mut br, 2, f, SimTime(1000));
         assert_eq!(out.len(), 3, "request flooded except toward the host");
         assert!(out.iter().all(|(p, _)| *p != 0));
-        assert!(out
-            .iter()
-            .all(|(_, f)| matches!(&f.payload, Payload::PathCtl(c) if c.kind == PathCtlKind::PathRequest)));
+        assert!(out.iter().all(
+            |(_, f)| matches!(&f.payload, Payload::PathCtl(c) if c.kind == PathCtlKind::PathRequest)
+        ));
     }
 
     #[test]
@@ -1018,7 +1024,7 @@ mod tests {
         // Destination host 2 confirmed on edge port 1.
         feed(&mut br, 1, arp_request_frame(2, 9), SimTime(0));
         feed(&mut br, 3, arp_reply_frame(9, 2), SimTime(10)); // promotes host2? no: learns host9
-        // Promote host 2's entry by replying to it.
+                                                              // Promote host 2's entry by replying to it.
         feed(&mut br, 1, data_frame(2, 9), SimTime(20));
         // Simplest: force-promote via reply travelling to host 2.
         // (host2's entry may still be Locked; send a unicast destined
@@ -1028,9 +1034,9 @@ mod tests {
         let out = feed_frames(&mut br, 3, f, SimTime(1000));
         // If host 2's entry is Learnt on an edge port we must see a
         // PathReply back out port 3; otherwise the request floods.
-        let replied = out
-            .iter()
-            .any(|(p, f)| *p == 3 && matches!(&f.payload, Payload::PathCtl(c) if c.kind == PathCtlKind::PathReply));
+        let replied = out.iter().any(|(p, f)| {
+            *p == 3 && matches!(&f.payload, Payload::PathCtl(c) if c.kind == PathCtlKind::PathReply)
+        });
         let e2 = br.entry_of(host(2), SimTime(1000)).unwrap();
         if e2.state == EntryState::Learnt {
             assert!(replied, "destination edge must answer");

@@ -102,9 +102,6 @@ mod tests {
     fn builders_flip_flags() {
         assert!(ArpPathConfig::default().with_proxy().proxy);
         assert!(!ArpPathConfig::default().without_repair().repair);
-        assert_eq!(
-            ArpPathConfig::default().with_table_capacity(512).table_capacity,
-            Some(512)
-        );
+        assert_eq!(ArpPathConfig::default().with_table_capacity(512).table_capacity, Some(512));
     }
 }

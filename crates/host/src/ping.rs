@@ -105,7 +105,13 @@ impl PingHost {
         payload.resize(self.config.payload_len.max(8), 0xA5);
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
-        self.stack.send_echo_request(self.config.target, self.ident, seq, Bytes::from(payload), ctx);
+        self.stack.send_echo_request(
+            self.config.target,
+            self.ident,
+            seq,
+            Bytes::from(payload),
+            ctx,
+        );
         self.sent += 1;
     }
 }
@@ -135,7 +141,8 @@ impl Device for PingHost {
     }
 
     fn on_frame(&mut self, _port: PortNo, frame: EthernetFrame, ctx: &mut Ctx) {
-        if let Some(Upcall::EchoReply { ident, payload, .. }) = self.stack.handle_frame(frame, ctx) {
+        if let Some(Upcall::EchoReply { ident, payload, .. }) = self.stack.handle_frame(frame, ctx)
+        {
             if ident != self.ident || payload.len() < 8 {
                 self.mismatched += 1;
                 return;
@@ -166,11 +173,7 @@ mod tests {
             MacAddr::from_index(1, 1),
             Ipv4Addr::new(10, 0, 0, 1),
             7,
-            PingConfig {
-                target: Ipv4Addr::new(10, 0, 0, 2),
-                count,
-                ..Default::default()
-            },
+            PingConfig { target: Ipv4Addr::new(10, 0, 0, 2), count, ..Default::default() },
         )
     }
 

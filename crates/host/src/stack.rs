@@ -352,13 +352,7 @@ mod tests {
         stack.send_udp(dst_ip, 1000, 2000, Bytes::from_static(b"two"), &mut ctx);
         cmds.clear();
         // The reply arrives.
-        let reply = ArpPacket {
-            op: ArpOp::Reply,
-            sha: dst_mac,
-            spa: dst_ip,
-            tha: mac,
-            tpa: ip,
-        };
+        let reply = ArpPacket { op: ArpOp::Reply, sha: dst_mac, spa: dst_ip, tha: mac, tpa: ip };
         let mut ctx = ctx_with(&mut cmds, &ports, SimTime(1000));
         stack.handle_frame(EthernetFrame::arp_reply(reply), &mut ctx);
         let frames = sent_frames(&cmds);
@@ -460,7 +454,8 @@ mod tests {
         let ports = [true];
         let mut cmds = Vec::new();
         let mut ctx = ctx_with(&mut cmds, &ports, SimTime(0));
-        let echo = IcmpEcho { is_request: false, ident: 7, seq: 3, payload: Bytes::from_static(b"t") };
+        let echo =
+            IcmpEcho { is_request: false, ident: 7, seq: 3, payload: Bytes::from_static(b"t") };
         let mut buf = Vec::new();
         echo.emit(&mut buf);
         let pkt = Ipv4Packet::new(peer_ip, ip, IpProto::Icmp, Bytes::from(buf));
@@ -468,7 +463,12 @@ mod tests {
         let up = stack.handle_frame(frame, &mut ctx);
         assert_eq!(
             up,
-            Some(Upcall::EchoReply { from: peer_ip, ident: 7, seq: 3, payload: Bytes::from_static(b"t") })
+            Some(Upcall::EchoReply {
+                from: peer_ip,
+                ident: 7,
+                seq: 3,
+                payload: Bytes::from_static(b"t")
+            })
         );
     }
 

@@ -88,7 +88,13 @@ impl StreamServer {
         payload.extend_from_slice(&self.next_seq.to_be_bytes());
         payload.extend_from_slice(&ctx.now().as_nanos().to_be_bytes());
         payload.resize(self.config.chunk_len.max(16), 0x56); // 'V' for video
-        self.stack.send_udp(self.config.client, STREAM_PORT, STREAM_PORT, Bytes::from(payload), ctx);
+        self.stack.send_udp(
+            self.config.client,
+            STREAM_PORT,
+            STREAM_PORT,
+            Bytes::from(payload),
+            ctx,
+        );
         self.next_seq += 1;
         self.sent += 1;
     }
@@ -225,7 +231,13 @@ impl Device for StreamClient {
         // reverse path's entries fresh.
         let mut payload = Vec::with_capacity(8);
         payload.extend_from_slice(&self.highest_seq.unwrap_or(0).to_be_bytes());
-        self.stack.send_udp(self.config.server, REPORT_PORT, REPORT_PORT, Bytes::from(payload), ctx);
+        self.stack.send_udp(
+            self.config.server,
+            REPORT_PORT,
+            REPORT_PORT,
+            Bytes::from(payload),
+            ctx,
+        );
         self.reports_tx += 1;
         ctx.schedule(self.config.report_interval, TOKEN_REPORT);
     }
@@ -266,7 +278,11 @@ mod tests {
 
     #[test]
     fn server_paces_chunks_at_rate() {
-        let cfg = StreamConfig { client: Ipv4Addr::new(10, 0, 0, 2), rate_pps: 1000, ..Default::default() };
+        let cfg = StreamConfig {
+            client: Ipv4Addr::new(10, 0, 0, 2),
+            rate_pps: 1000,
+            ..Default::default()
+        };
         let server =
             StreamServer::new("srv", MacAddr::from_index(1, 1), Ipv4Addr::new(10, 0, 0, 1), cfg);
         assert_eq!(server.interval(), SimDuration::millis(1));

@@ -143,11 +143,7 @@ mod tests {
         let md = sample().render_markdown();
         let pipe_positions = |line: &str| -> Vec<usize> {
             // Char columns, not byte offsets: cells may hold non-ASCII.
-            line.chars()
-                .enumerate()
-                .filter(|(_, c)| *c == '|')
-                .map(|(i, _)| i)
-                .collect()
+            line.chars().enumerate().filter(|(_, c)| *c == '|').map(|(i, _)| i).collect()
         };
         let lines: Vec<&str> = md.lines().skip(2).collect();
         let first = pipe_positions(lines[0]);

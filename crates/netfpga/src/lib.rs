@@ -136,7 +136,11 @@ impl<L: SwitchLogic> NetFpgaSwitch<L> {
         self.params
     }
 
-    fn run_logic<F>(&mut self, ctx: &mut Ctx, f: F) -> (Vec<(PortNo, EthernetFrame)>, ProcessingClass)
+    fn run_logic<F>(
+        &mut self,
+        ctx: &mut Ctx,
+        f: F,
+    ) -> (Vec<(PortNo, EthernetFrame)>, ProcessingClass)
     where
         F: FnOnce(&mut L, &mut LogicEnv) -> ProcessingClass,
     {

@@ -305,8 +305,12 @@ impl Network {
         self.now = ev.time;
         self.stats.events += 1;
         match ev.kind {
-            EventKind::TxDone { link, dir, epoch, frame } => self.on_tx_done(link, dir, epoch, frame),
-            EventKind::Deliver { link, dir, epoch, frame } => self.on_deliver(link, dir, epoch, frame),
+            EventKind::TxDone { link, dir, epoch, frame } => {
+                self.on_tx_done(link, dir, epoch, frame)
+            }
+            EventKind::Deliver { link, dir, epoch, frame } => {
+                self.on_deliver(link, dir, epoch, frame)
+            }
             EventKind::Timer { node, token } => {
                 self.trace(TraceEvent::TimerFired { node, token });
                 self.dispatch(node, |dev, ctx| dev.on_timer(token, ctx));

@@ -177,7 +177,7 @@ impl<W: Write> PcapTracer<W> {
 impl<W: Write> Tracer for PcapTracer<W> {
     fn record(&mut self, now: SimTime, event: TraceEvent<'_>) {
         if let TraceEvent::Delivered { node, frame, .. } = event {
-            if self.only_node.map_or(true, |n| n == node) {
+            if self.only_node.is_none_or(|n| n == node) {
                 // Sink errors are not recoverable mid-simulation; surface
                 // loudly rather than silently truncating the capture.
                 self.writer.write_frame(now.as_nanos(), frame).expect("pcap sink failed");
@@ -227,7 +227,10 @@ mod tests {
         let mut t = CountingTracer::default();
         t.record(SimTime(0), TraceEvent::Sent { node: NodeId(0), port: PortNo(0), frame: &f });
         t.record(SimTime(1), TraceEvent::Delivered { node: NodeId(1), port: PortNo(0), frame: &f });
-        t.record(SimTime(2), TraceEvent::DropQueueFull { link: LinkId(0), dir: Dir::AtoB, frame: &f });
+        t.record(
+            SimTime(2),
+            TraceEvent::DropQueueFull { link: LinkId(0), dir: Dir::AtoB, frame: &f },
+        );
         t.record(SimTime(3), TraceEvent::LinkStatus { link: LinkId(0), up: false });
         t.record(SimTime(4), TraceEvent::TimerFired { node: NodeId(0), token: TimerToken(1) });
         assert_eq!(t.sent, 1);
@@ -241,7 +244,10 @@ mod tests {
     fn collecting_tracer_formats_lines() {
         let f = frame();
         let mut t = CollectingTracer::default();
-        t.record(SimTime(42), TraceEvent::Delivered { node: NodeId(3), port: PortNo(1), frame: &f });
+        t.record(
+            SimTime(42),
+            TraceEvent::Delivered { node: NodeId(3), port: PortNo(1), frame: &f },
+        );
         assert_eq!(t.lines.len(), 1);
         assert!(t.lines[0].contains("n3 p1 RX"), "line: {}", t.lines[0]);
     }

@@ -16,9 +16,13 @@
 
 use crate::port::{PortRole, PortState, StpPort};
 use arppath_netsim::{PortNo, SimDuration, SimTime, TimerToken};
-use arppath_switch::{AgingMap, DropReason, LogicEnv, ProcessingClass, SwitchCounters, SwitchLogic};
+use arppath_switch::{
+    AgingMap, DropReason, LogicEnv, ProcessingClass, SwitchCounters, SwitchLogic,
+};
 use arppath_wire::llc::BpduTime;
-use arppath_wire::{Bpdu, BpduFlags, BridgeId, ConfigBpdu, EthernetFrame, MacAddr, Payload, PortId16};
+use arppath_wire::{
+    Bpdu, BpduFlags, BridgeId, ConfigBpdu, EthernetFrame, MacAddr, Payload, PortId16,
+};
 
 /// Timer cookie: periodic hello.
 const TOKEN_HELLO: TimerToken = TimerToken(0x5354_5001);
@@ -148,9 +152,8 @@ impl StpBridge {
     /// the bridge's base address (the root-election tiebreaker).
     pub fn new(name: impl Into<String>, mac: MacAddr, num_ports: usize, config: StpConfig) -> Self {
         let bridge_id = BridgeId::new(config.bridge_priority, mac);
-        let ports = (0..num_ports)
-            .map(|p| StpPort::new(bridge_id, Self::port_id_of(p), false))
-            .collect();
+        let ports =
+            (0..num_ports).map(|p| StpPort::new(bridge_id, Self::port_id_of(p), false)).collect();
         StpBridge {
             name: name.into(),
             bridge_id,
@@ -278,8 +281,7 @@ impl StpBridge {
                 self.set_role(p, PortRole::Root, now);
                 continue;
             }
-            let my_claim =
-                (self.root, self.root_path_cost, self.bridge_id, Self::port_id_of(p));
+            let my_claim = (self.root, self.root_path_cost, self.bridge_id, Self::port_id_of(p));
             let port = &self.ports[p];
             let stored = (
                 port.designated_root,
@@ -397,7 +399,8 @@ impl StpBridge {
             hello_time: BpduTime::from_nanos(self.config.hello_time.as_nanos()),
             forward_delay: BpduTime::from_nanos(self.config.forward_delay.as_nanos()),
         });
-        let frame = EthernetFrame::new(MacAddr::STP_MULTICAST, self.bridge_id.mac, Payload::Bpdu(bpdu));
+        let frame =
+            EthernetFrame::new(MacAddr::STP_MULTICAST, self.bridge_id.mac, Payload::Bpdu(bpdu));
         env.transmit(PortNo(p), frame);
         self.stp.config_tx += 1;
     }
@@ -422,7 +425,12 @@ impl StpBridge {
         let stored_vec = if port.info_is_own {
             (self.root, self.root_path_cost, self.bridge_id, Self::port_id_of(p))
         } else {
-            (port.designated_root, port.designated_cost, port.designated_bridge, port.designated_port)
+            (
+                port.designated_root,
+                port.designated_cost,
+                port.designated_bridge,
+                port.designated_port,
+            )
         };
         let same_source = !port.info_is_own
             && cfg.bridge == port.designated_bridge

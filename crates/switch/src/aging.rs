@@ -226,7 +226,7 @@ mod tests {
             let mut eager = AgingMap::new();
             let mut now = SimTime::ZERO;
             for (op, key, dt) in ops {
-                now = now + SimDuration::nanos(dt);
+                now += SimDuration::nanos(dt);
                 match op {
                     0 => {
                         lazy.insert(key, dt, now + SimDuration::nanos(50));

@@ -3,8 +3,8 @@
 //!
 //! The same ARP-Path logic runs under two timing wrappers in this
 //! repository: [`crate::IdealSwitch`] (zero processing latency — what a
-//! software simulation measures) and the NetFPGA pipeline model (store
-//! + arbiter + lookup latency, hardware table with software slow path —
+//! software simulation measures) and the NetFPGA pipeline model (store +
+//! arbiter + lookup latency, hardware table with software slow path —
 //! what the paper's cards measured). Keeping the FSM identical under
 //! both is exactly the "same algorithm, different substrate" comparison
 //! the paper's multi-platform implementations made.
@@ -75,10 +75,7 @@ impl SwitchCounters {
 
     /// The count for `reason`.
     pub fn dropped(&self, reason: DropReason) -> u64 {
-        self.drops
-            .binary_search_by_key(&reason, |&(r, _)| r)
-            .map(|i| self.drops[i].1)
-            .unwrap_or(0)
+        self.drops.binary_search_by_key(&reason, |&(r, _)| r).map(|i| self.drops[i].1).unwrap_or(0)
     }
 
     /// Total drops across reasons.
@@ -160,8 +157,12 @@ pub trait SwitchLogic: 'static {
 
     /// Process one received frame; returns which path (hardware or
     /// software) made the decision, for the timing wrapper.
-    fn on_frame(&mut self, port: PortNo, frame: EthernetFrame, env: &mut LogicEnv)
-        -> ProcessingClass;
+    fn on_frame(
+        &mut self,
+        port: PortNo,
+        frame: EthernetFrame,
+        env: &mut LogicEnv,
+    ) -> ProcessingClass;
 
     /// A requested timer fired.
     fn on_timer(&mut self, _token: TimerToken, _env: &mut LogicEnv) {}

@@ -9,10 +9,8 @@
 //! repository is built.
 
 use arppath::{ArpPathBridge, ArpPathConfig};
-use arppath_netsim::{
-    Device, LinkId, LinkParams, Network, NetworkBuilder, NodeId, Tracer,
-};
 use arppath_netfpga::{NetFpgaParams, NetFpgaSwitch};
+use arppath_netsim::{Device, LinkId, LinkParams, Network, NetworkBuilder, NodeId, Tracer};
 use arppath_stp::{StpBridge, StpConfig};
 use arppath_switch::{IdealSwitch, LearningConfig, LearningSwitch, SwitchCounters};
 use arppath_wire::MacAddr;
@@ -210,7 +208,9 @@ fn make_bridge(
     priority: Option<u16>,
 ) -> Box<dyn Device> {
     match kind {
-        BridgeKind::ArpPath(cfg) => Box::new(IdealSwitch::new(ArpPathBridge::new(name, mac, ports, cfg))),
+        BridgeKind::ArpPath(cfg) => {
+            Box::new(IdealSwitch::new(ArpPathBridge::new(name, mac, ports, cfg)))
+        }
         BridgeKind::ArpPathNetFpga(cfg, nf) => {
             Box::new(NetFpgaSwitch::new(ArpPathBridge::new(name, mac, ports, cfg), nf))
         }

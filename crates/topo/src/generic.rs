@@ -76,17 +76,14 @@ pub struct FatTree {
 /// k/2 edge and k/2 aggregation switches fully bipartitely meshed;
 /// aggregation switch `j` of each pod connects to core group `j`.
 pub fn fat_tree(t: &mut TopoBuilder, k: usize) -> FatTree {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
     let half = k / 2;
-    let core: Vec<BridgeIx> =
-        (0..half * half).map(|i| t.bridge(format!("C{i}"))).collect();
+    let core: Vec<BridgeIx> = (0..half * half).map(|i| t.bridge(format!("C{i}"))).collect();
     let mut aggregation = Vec::new();
     let mut edge = Vec::new();
     for pod in 0..k {
-        let aggs: Vec<BridgeIx> =
-            (0..half).map(|j| t.bridge(format!("A{pod}.{j}"))).collect();
-        let edges: Vec<BridgeIx> =
-            (0..half).map(|j| t.bridge(format!("E{pod}.{j}"))).collect();
+        let aggs: Vec<BridgeIx> = (0..half).map(|j| t.bridge(format!("A{pod}.{j}"))).collect();
+        let edges: Vec<BridgeIx> = (0..half).map(|j| t.bridge(format!("E{pod}.{j}"))).collect();
         for &a in &aggs {
             for &e in &edges {
                 t.connect(a, e);
@@ -117,9 +114,7 @@ pub fn random_connected(
     let mut rng = StdRng::seed_from_u64(seed);
     let bridges: Vec<BridgeIx> = (0..n).map(|i| t.bridge(format!("N{i}"))).collect();
     let mut edges = std::collections::BTreeSet::new();
-    let delay = |rng: &mut StdRng| {
-        LinkParams::gigabit(SimDuration::micros(rng.gen_range(1..=10)))
-    };
+    let delay = |rng: &mut StdRng| LinkParams::gigabit(SimDuration::micros(rng.gen_range(1..=10)));
     // Random attachment tree keeps it connected.
     for i in 1..n {
         let j = rng.gen_range(0..i);

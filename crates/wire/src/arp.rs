@@ -107,7 +107,9 @@ impl ArpPacket {
 impl fmt::Display for ArpPacket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op {
-            ArpOp::Request => write!(f, "arp who-has {} tell {} ({})", self.tpa, self.spa, self.sha),
+            ArpOp::Request => {
+                write!(f, "arp who-has {} tell {} ({})", self.tpa, self.spa, self.sha)
+            }
             ArpOp::Reply => write!(f, "arp {} is-at {} (to {})", self.spa, self.sha, self.tpa),
         }
     }
@@ -169,10 +171,7 @@ mod tests {
         let mut buf = Vec::new();
         sample_request().emit(&mut buf);
         buf[1] = 6; // HTYPE = IEEE 802 (token ring era)
-        assert!(matches!(
-            ArpPacket::parse(&buf),
-            Err(ParseError::BadField { field: "htype", .. })
-        ));
+        assert!(matches!(ArpPacket::parse(&buf), Err(ParseError::BadField { field: "htype", .. })));
     }
 
     #[test]

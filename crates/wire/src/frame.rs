@@ -122,9 +122,8 @@ impl EthernetFrame {
     /// 60-byte minimum, excluding FCS (add [`WIRE_OVERHEAD`] for the full
     /// line occupancy including preamble/FCS/IFG).
     pub fn wire_len(&self) -> usize {
-        let len = Self::HEADER_LEN
-            + if self.vlan.is_some() { 4 } else { 0 }
-            + self.payload.wire_len();
+        let len =
+            Self::HEADER_LEN + if self.vlan.is_some() { 4 } else { 0 } + self.payload.wire_len();
         len.max(MIN_FRAME_LEN)
     }
 
@@ -262,7 +261,8 @@ mod tests {
 
     #[test]
     fn arp_reply_frame_is_unicast_to_requester() {
-        let req = ArpPacket::request(host(1), Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let req =
+            ArpPacket::request(host(1), Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
         let rep = ArpPacket::reply_to(&req, host(2), req.tpa);
         let f = EthernetFrame::arp_reply(rep);
         assert!(!f.is_flooded());

@@ -46,7 +46,11 @@ impl IcmpEcho {
             8 => true,
             0 => false,
             other => {
-                return Err(ParseError::BadField { what: "icmp", field: "type", value: other as u64 })
+                return Err(ParseError::BadField {
+                    what: "icmp",
+                    field: "type",
+                    value: other as u64,
+                })
             }
         };
         if buf[1] != 0 {

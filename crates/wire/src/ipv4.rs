@@ -247,7 +247,10 @@ mod tests {
             h
         });
         buf[10..12].copy_from_slice(&c.to_be_bytes());
-        assert!(matches!(Ipv4Packet::parse(&buf), Err(ParseError::BadField { field: "fragment", .. })));
+        assert!(matches!(
+            Ipv4Packet::parse(&buf),
+            Err(ParseError::BadField { field: "fragment", .. })
+        ));
     }
 
     #[test]

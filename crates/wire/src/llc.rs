@@ -202,10 +202,18 @@ impl Bpdu {
         let b = &buf[3..];
         let proto = be16(b, 0);
         if proto != 0 {
-            return Err(ParseError::BadField { what: "bpdu", field: "protocol", value: proto as u64 });
+            return Err(ParseError::BadField {
+                what: "bpdu",
+                field: "protocol",
+                value: proto as u64,
+            });
         }
         if b[2] != 0 {
-            return Err(ParseError::BadField { what: "bpdu", field: "version", value: b[2] as u64 });
+            return Err(ParseError::BadField {
+                what: "bpdu",
+                field: "version",
+                value: b[2] as u64,
+            });
         }
         match b[3] {
             0x80 => Ok(Bpdu::Tcn),
@@ -223,9 +231,7 @@ impl Bpdu {
                     forward_delay: BpduTime(be16(b, 33)),
                 }))
             }
-            other => {
-                Err(ParseError::BadField { what: "bpdu", field: "type", value: other as u64 })
-            }
+            other => Err(ParseError::BadField { what: "bpdu", field: "type", value: other as u64 }),
         }
     }
 

@@ -84,11 +84,7 @@ impl MacAddr {
 impl fmt::Display for MacAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            b[0], b[1], b[2], b[3], b[4], b[5]
-        )
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
     }
 }
 
@@ -114,11 +110,8 @@ impl FromStr for MacAddr {
         let mut out = [0u8; 6];
         let mut parts = s.split(':');
         for slot in out.iter_mut() {
-            let part = parts.next().ok_or(ParseError::Truncated {
-                what: "mac-str",
-                need: 6,
-                have: 0,
-            })?;
+            let part =
+                parts.next().ok_or(ParseError::Truncated { what: "mac-str", need: 6, have: 0 })?;
             *slot = u8::from_str_radix(part, 16).map_err(|_| ParseError::BadField {
                 what: "mac-str",
                 field: "octet",

@@ -109,17 +109,38 @@ impl PathCtl {
 
     /// Build a `PathFail` reported by `origin` for the `src → dst` flow.
     pub fn fail(src_host: MacAddr, dst_host: MacAddr, origin: MacAddr, nonce: u32) -> Self {
-        PathCtl { kind: PathCtlKind::PathFail, src_host, dst_host, origin, nonce, ttl: PATHCTL_INITIAL_TTL }
+        PathCtl {
+            kind: PathCtlKind::PathFail,
+            src_host,
+            dst_host,
+            origin,
+            nonce,
+            ttl: PATHCTL_INITIAL_TTL,
+        }
     }
 
     /// Build the flooded `PathRequest` the source edge bridge emits.
     pub fn request(src_host: MacAddr, dst_host: MacAddr, origin: MacAddr, nonce: u32) -> Self {
-        PathCtl { kind: PathCtlKind::PathRequest, src_host, dst_host, origin, nonce, ttl: PATHCTL_INITIAL_TTL }
+        PathCtl {
+            kind: PathCtlKind::PathRequest,
+            src_host,
+            dst_host,
+            origin,
+            nonce,
+            ttl: PATHCTL_INITIAL_TTL,
+        }
     }
 
     /// Build the `PathReply` the destination edge bridge answers with.
     pub fn reply(src_host: MacAddr, dst_host: MacAddr, origin: MacAddr, nonce: u32) -> Self {
-        PathCtl { kind: PathCtlKind::PathReply, src_host, dst_host, origin, nonce, ttl: PATHCTL_INITIAL_TTL }
+        PathCtl {
+            kind: PathCtlKind::PathReply,
+            src_host,
+            dst_host,
+            origin,
+            nonce,
+            ttl: PATHCTL_INITIAL_TTL,
+        }
     }
 
     /// Decode from `buf` (trailing padding tolerated).

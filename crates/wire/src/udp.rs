@@ -38,7 +38,11 @@ impl UdpDatagram {
         crate::need(buf, Self::HEADER_LEN, "udp")?;
         let len = be16(buf, 4) as usize;
         if len < Self::HEADER_LEN || len > buf.len() {
-            return Err(ParseError::LengthMismatch { what: "udp", declared: len, actual: buf.len() });
+            return Err(ParseError::LengthMismatch {
+                what: "udp",
+                declared: len,
+                actual: buf.len(),
+            });
         }
         let payload = Bytes::copy_from_slice(&buf[Self::HEADER_LEN..len]);
         let declared = be16(buf, 6);

@@ -31,27 +31,32 @@ impl VlanTag {
     pub fn parse(buf: &[u8]) -> ParseResult<Self> {
         crate::need(buf, Self::LEN, "vlan")?;
         let tci = be16(buf, 0);
-        Ok(VlanTag {
-            pcp: (tci >> 13) as u8,
-            dei: tci & 0x1000 != 0,
-            vid: tci & 0x0fff,
-        })
+        Ok(VlanTag { pcp: (tci >> 13) as u8, dei: tci & 0x1000 != 0, vid: tci & 0x0fff })
     }
 
     /// Encode the TCI.
     pub fn emit(&self, out: &mut Vec<u8>) {
-        let tci =
-            ((self.pcp as u16 & 0x7) << 13) | if self.dei { 0x1000 } else { 0 } | (self.vid & 0x0fff);
+        let tci = ((self.pcp as u16 & 0x7) << 13)
+            | if self.dei { 0x1000 } else { 0 }
+            | (self.vid & 0x0fff);
         out.extend_from_slice(&tci.to_be_bytes());
     }
 
     /// Reject tags that cannot appear on the wire.
     pub fn validate(&self) -> ParseResult<()> {
         if self.pcp > 7 {
-            return Err(ParseError::BadField { what: "vlan", field: "pcp", value: self.pcp as u64 });
+            return Err(ParseError::BadField {
+                what: "vlan",
+                field: "pcp",
+                value: self.pcp as u64,
+            });
         }
         if self.vid > 0x0fff {
-            return Err(ParseError::BadField { what: "vlan", field: "vid", value: self.vid as u64 });
+            return Err(ParseError::BadField {
+                what: "vlan",
+                field: "vid",
+                value: self.vid as u64,
+            });
         }
         Ok(())
     }

@@ -24,8 +24,13 @@ fn run(proxy: bool) -> (u64, u64, u64) {
     // Two popular servers.
     for s in 0..2u32 {
         let id = 1000 + s;
-        let host =
-            PingHost::new(format!("srv{s}"), MacAddr::from_index(1, id), ip(id), id as u16, PingConfig::default());
+        let host = PingHost::new(
+            format!("srv{s}"),
+            MacAddr::from_index(1, id),
+            ip(id),
+            id as u16,
+            PingConfig::default(),
+        );
         t.host(bridges[s as usize], Box::new(host));
     }
     // 24 clients, staggered, each re-resolving one of the servers in

@@ -58,11 +58,8 @@ fn run_once(kind: BridgeKind, root: Option<usize>, warmup: SimDuration) -> (Stri
 
 fn main() {
     println!("A<->B median RTT on the Figure-2 fabric (heterogeneous link delays):\n");
-    let (label, ap) = run_once(
-        BridgeKind::ArpPath(ArpPathConfig::default()),
-        None,
-        SimDuration::millis(100),
-    );
+    let (label, ap) =
+        run_once(BridgeKind::ArpPath(ArpPathConfig::default()), None, SimDuration::millis(100));
     println!("  {label:<16} {ap:7.2} us   <- the race's choice");
     for root in 0..6 {
         let (label, rtt) = run_once(

@@ -35,8 +35,7 @@ fn main() {
             ..Default::default()
         },
     );
-    let host_b =
-        PingHost::new("hostB", MacAddr::from_index(1, 2), ip_b, 2, PingConfig::default());
+    let host_b = PingHost::new("hostB", MacAddr::from_index(1, 2), ip_b, 2, PingConfig::default());
     let a_ix = t.host(fig.nic_a, Box::new(host_a));
     t.host(fig.nic_b, Box::new(host_b));
 
@@ -61,7 +60,5 @@ fn main() {
     let prober = built.net.device::<PingHost>(built.host_nodes[a_ix]);
     let mut rtt = prober.rtt.clone();
     println!("\nping hostA -> hostB: {}", rtt.summary_micros());
-    println!(
-        "(no spanning tree, no link-state protocol, and zero configuration on the hosts)"
-    );
+    println!("(no spanning tree, no link-state protocol, and zero configuration on the hosts)");
 }

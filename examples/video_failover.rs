@@ -30,7 +30,7 @@ fn main() {
         StreamConfig {
             client: ip_b,
             start_at: SimDuration::millis(100),
-            rate_pps: 500,   // ~4 Mbit/s at 1000-byte chunks
+            rate_pps: 500, // ~4 Mbit/s at 1000-byte chunks
             chunk_len: 1000,
             total_chunks: 15_000, // 30 s of video
         },
@@ -50,7 +50,9 @@ fn main() {
     let cut2 = built.link_between(fig.nf[0], fig.nf[2]).unwrap(); // NF1—NF3
     built.net.schedule_link_down(cut1, SimTime(SimDuration::secs(10).as_nanos()));
     built.net.schedule_link_down(cut2, SimTime(SimDuration::secs(20).as_nanos()));
-    println!("streaming 30s of video at 500 chunks/s; cutting NF2-NF4 at t=10s, NF1-NF3 at t=20s...\n");
+    println!(
+        "streaming 30s of video at 500 chunks/s; cutting NF2-NF4 at t=10s, NF1-NF3 at t=20s...\n"
+    );
 
     built.net.run_until(SimTime(SimDuration::secs(32).as_nanos()));
 
@@ -61,11 +63,7 @@ fn main() {
     println!("chunks received  : {}", client.received);
     println!("chunks lost      : {}", client.lost());
     if let Some((at, gap)) = client.arrivals.max_gap() {
-        println!(
-            "longest stall    : {:.2} ms (at t={:.3} s)",
-            gap as f64 / 1e6,
-            at as f64 / 1e9
-        );
+        println!("longest stall    : {:.2} ms (at t={:.3} s)", gap as f64 / 1e6, at as f64 / 1e9);
     }
     let stalls = client.stalls_over(SimDuration::millis(50));
     println!("stalls > 50 ms   : {}", stalls.len());

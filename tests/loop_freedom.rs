@@ -47,17 +47,11 @@ fn run_broadcast_workload(kind: BridgeKind, seed: u64, horizon_ms: u64) -> (u64,
 #[test]
 fn arppath_floods_terminate_on_random_cyclic_graphs() {
     for seed in [1, 7, 42, 1337, 9999] {
-        let (frames, delivered) = run_broadcast_workload(
-            BridgeKind::ArpPath(ArpPathConfig::default()),
-            seed,
-            200,
-        );
+        let (frames, delivered) =
+            run_broadcast_workload(BridgeKind::ArpPath(ArpPathConfig::default()), seed, 200);
         // 10 bridges × ~20 ports of hellos for 0.2 s plus one ARP flood
         // and 3 pings: a storm would be millions.
-        assert!(
-            frames < 20_000,
-            "seed {seed}: {frames} frames smells like a broadcast storm"
-        );
+        assert!(frames < 20_000, "seed {seed}: {frames} frames smells like a broadcast storm");
         assert_eq!(delivered, 3, "seed {seed}: pings must complete");
     }
 }

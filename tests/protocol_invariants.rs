@@ -76,7 +76,7 @@ proptest! {
         let ports_up = [true; 4];
         let mut now = SimTime::ZERO;
         for (host, port) in events {
-            now = now + SimDuration::micros(10);
+            now += SimDuration::micros(10);
             let src = MacAddr::from_index(1, host + 1);
             let arp = arppath_wire::ArpPacket::request(src, ip(host + 1), ip(99));
             let frame = EthernetFrame::arp_request(src, arp);
@@ -104,7 +104,7 @@ proptest! {
         let ports_up = [true; 4];
         let mut now = SimTime::ZERO;
         for (dst, src, ethertype, data, port) in frames {
-            now = now + SimDuration::micros(1);
+            now += SimDuration::micros(1);
             let frame = EthernetFrame::new(
                 MacAddr(dst),
                 MacAddr(src),

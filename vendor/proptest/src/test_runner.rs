@@ -1,0 +1,80 @@
+//! Test-case plumbing (subset of proptest's `test_runner` module).
+
+/// Per-test configuration; exported from the prelude as `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before the test errors.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64, max_global_rejects: 4096 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs were rejected by `prop_assume!` — not a failure.
+    Reject(String),
+    /// An assertion failed; the test will panic with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An input rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_assumptions_and_tuples_work(
+            x in 0u16..100,
+            hi in 0x0600u16..,
+            pair in (0u8..3, 1usize..=4),
+            data in crate::collection::vec(any::<u8>(), 0..16),
+            raw: [u8; 6],
+            y in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert!(hi >= 0x0600);
+            prop_assert!(pair.0 < 3 && (1..=4).contains(&pair.1));
+            prop_assert!(data.len() < 16, "len {}", data.len());
+            prop_assert_eq!(raw.len(), 6);
+            prop_assert_ne!(y, 0u8);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(v in 0u8..10) {
+                    prop_assert!(v > 200, "v is small: {v}");
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err(), "failing property must panic");
+    }
+}
