@@ -1,5 +1,31 @@
 //! The discrete-event engine: a deterministic event queue moving frames
 //! across links between devices.
+//!
+//! # Batched execution and the same-timestamp ordering guarantee
+//!
+//! The run loops ([`Network::run_until`], [`Network::run_until_idle`],
+//! [`Network::run_for`]) drain the queue **one timestamp at a time**:
+//! every event sharing the earliest pending instant is popped into a
+//! reused batch buffer in a single pass over the heap, the clock
+//! advances once, and the batch is then processed in order. Events an
+//! event handler schedules *at the same instant* (zero-delay timers,
+//! injected frames) land after the current batch — they are drained as
+//! a follow-up batch before the clock moves — so the observable order
+//! is always `(time, seq)`: chronological, with insertion order as the
+//! tiebreak. This is byte-identical to processing one event at a time
+//! with [`Network::step`], which `tests/engine_batching.rs` asserts at
+//! the trace level; batching only removes per-event heap interleaving
+//! and allocation churn from the hot path, it never reorders.
+//!
+//! Two further hot-path choices matter for scale. Device callbacks
+//! cannot borrow the engine, so their side effects are *deferred
+//! commands*: each dispatch lends the device a reusable scratch vector,
+//! and the engine applies the commands (sends, timer schedules)
+//! immediately after the callback returns — a flood out of N ports is
+//! N commands in one scratch buffer, no allocation after warm-up. And
+//! egress lookup (device, port) → (link, direction) is a dense
+//! two-level table indexed by node id and port number, not a hash map,
+//! so the per-send cost is two array indexations.
 
 use crate::device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
 use crate::link::{Dir, Endpoint, Link, LinkId, LinkParams};
@@ -143,10 +169,17 @@ impl NetworkBuilder {
             }
         }
         let n = self.devices.len();
+        // Flatten the builder's hash map into a dense per-node, per-port
+        // egress table: the per-send lookup is then two array indexes.
+        let mut port_table: Vec<Vec<Option<(LinkId, Dir)>>> =
+            ports_up.iter().map(|v| vec![None; v.len()]).collect();
+        for (&(node, port), &entry) in &self.port_map {
+            port_table[node.0][port.0] = Some(entry);
+        }
         let mut net = Network {
             devices: self.devices.into_iter().map(Some).collect(),
             links: self.links,
-            port_map: self.port_map,
+            port_table,
             ports_up,
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
@@ -154,6 +187,7 @@ impl NetworkBuilder {
             stats: NetworkStats::default(),
             tracer: self.tracer,
             scratch: Vec::new(),
+            batch: Vec::new(),
         };
         for i in 0..n {
             net.dispatch(NodeId(i), |dev, ctx| dev.on_start(ctx));
@@ -166,20 +200,32 @@ impl NetworkBuilder {
 pub struct Network {
     devices: Vec<Option<Box<dyn Device>>>,
     links: Vec<Link>,
-    port_map: HashMap<(NodeId, PortNo), (LinkId, Dir)>,
+    /// Dense egress map `[node][port] -> (link, direction)`; `None` for
+    /// uncabled ports.
+    port_table: Vec<Vec<Option<(LinkId, Dir)>>>,
     ports_up: Vec<Vec<bool>>,
     queue: BinaryHeap<Reverse<Event>>,
     now: SimTime,
     seq: u64,
     stats: NetworkStats,
     tracer: Option<Box<dyn Tracer>>,
+    /// Reused command buffer lent to device callbacks (flood fan-out
+    /// writes N send commands here without allocating after warm-up).
     scratch: Vec<Command>,
+    /// Reused buffer holding the events of the batch being processed.
+    batch: Vec<Event>,
 }
 
 impl Network {
     /// The current instant.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Timestamp of the earliest pending event, if any. Lets harnesses
+    /// single-step up to a horizon without consuming events past it.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(ev)| ev.time)
     }
 
     /// Engine-wide counters.
@@ -269,25 +315,19 @@ impl Network {
     /// clock is left at the last processed event (drained) or at
     /// `limit`.
     pub fn run_until_idle(&mut self, limit: SimTime) -> bool {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > limit {
-                self.now = self.now.max(limit);
-                return false;
-            }
-            self.step();
+        while self.step_batch(limit) {}
+        if self.queue.is_empty() {
+            true
+        } else {
+            self.now = self.now.max(limit);
+            false
         }
-        true
     }
 
     /// Run every event up to and including `until`, then set the clock
     /// to `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > until {
-                break;
-            }
-            self.step();
-        }
+        while self.step_batch(until) {}
         self.now = self.now.max(until);
     }
 
@@ -299,12 +339,59 @@ impl Network {
 
     /// Process exactly one event. Returns the time it ran at, or `None`
     /// if the queue is empty.
+    ///
+    /// This is the reference single-event semantics the batched run
+    /// loops are asserted against; experiment harnesses should prefer
+    /// [`Network::run_until`] / [`Network::run_until_idle`].
     pub fn step(&mut self) -> Option<SimTime> {
         let Reverse(ev) = self.queue.pop()?;
         debug_assert!(ev.time >= self.now, "event queue went backwards");
         self.now = ev.time;
         self.stats.events += 1;
-        match ev.kind {
+        self.process(ev.kind);
+        Some(self.now)
+    }
+
+    /// Drain and process the entire batch of pending events that share
+    /// the earliest timestamp, provided it is `<= bound`. Returns `true`
+    /// if a batch ran. Events that handlers push *at the batch's own
+    /// instant* are not part of this batch (their insertion sequence
+    /// numbers are higher than everything already pending); the next
+    /// call drains them as a follow-up batch at the same time, which is
+    /// exactly the `(time, seq)` order single-stepping would visit.
+    pub fn step_batch(&mut self, bound: SimTime) -> bool {
+        let Some(Reverse(head)) = self.queue.peek() else { return false };
+        let time = head.time;
+        if time > bound {
+            return false;
+        }
+        debug_assert!(time >= self.now, "event queue went backwards");
+        // Single pop loop: move the whole same-instant run out of the
+        // heap before touching any device, into a buffer reused across
+        // batches. The heap pops yield ascending seq by construction.
+        let mut batch = std::mem::take(&mut self.batch);
+        debug_assert!(batch.is_empty());
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time != time {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event vanished");
+            batch.push(ev);
+        }
+        self.now = time;
+        self.stats.events += batch.len() as u64;
+        for ev in batch.drain(..) {
+            self.process(ev.kind);
+        }
+        self.batch = batch;
+        true
+    }
+
+    // ---- internals ----
+
+    /// Apply one event's effect at the already-advanced clock.
+    fn process(&mut self, kind: EventKind) {
+        match kind {
             EventKind::TxDone { link, dir, epoch, frame } => {
                 self.on_tx_done(link, dir, epoch, frame)
             }
@@ -322,10 +409,7 @@ impl Network {
                 self.dispatch(node, |dev, ctx| dev.on_frame(port, frame, ctx));
             }
         }
-        Some(self.now)
     }
-
-    // ---- internals ----
 
     fn push_at(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
@@ -366,7 +450,7 @@ impl Network {
     fn handle_send(&mut self, node: NodeId, port: PortNo, frame: EthernetFrame) {
         self.stats.frames_sent += 1;
         self.trace(TraceEvent::Sent { node, port, frame: &frame });
-        let Some(&(link_id, dir)) = self.port_map.get(&(node, port)) else {
+        let Some((link_id, dir)) = self.port_table[node.0].get(port.0).copied().flatten() else {
             self.stats.drops_no_cable += 1;
             self.trace(TraceEvent::DropNoCable { node, port });
             return;

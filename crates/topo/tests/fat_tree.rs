@@ -1,0 +1,142 @@
+//! Structural properties of the k-ary fat-tree generator — the
+//! datacenter-scale substrate of the All-Path scalability direction
+//! (arXiv:1703.08744): switch counts, edge counts, layer shapes, and
+//! connectivity, for every even arity the experiments use.
+//!
+//! (The behavioural half — ARP-Path floods on a fat-tree terminate
+//! without a spanning tree — lives in the workspace-level
+//! `tests/loop_freedom.rs` harness, which needs the host crate.)
+
+use arppath::ArpPathConfig;
+use arppath_topo::{generic, BridgeKind, TopoBuilder};
+use proptest::prelude::*;
+
+fn fresh() -> TopoBuilder {
+    TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()))
+}
+
+/// Union-find connectivity over an edge list.
+fn is_connected(n: usize, edges: &[(usize, usize)]) -> bool {
+    fn find(p: &mut Vec<usize>, x: usize) -> usize {
+        if p[x] != x {
+            let r = find(p, p[x]);
+            p[x] = r;
+        }
+        p[x]
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    for &(a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        parent[ra] = rb;
+    }
+    let root = find(&mut parent, 0);
+    (1..n).all(|i| find(&mut parent, i) == root)
+}
+
+#[test]
+fn fat_tree_shape_for_k_2_4_6() {
+    for k in [2usize, 4, 6] {
+        let mut t = fresh();
+        let ft = generic::fat_tree(&mut t, k);
+        let half = k / 2;
+
+        // Layer sizes: (k/2)² core, k·(k/2) aggregation, k·(k/2) edge.
+        assert_eq!(ft.core.len(), half * half, "k={k}: core count");
+        assert_eq!(ft.aggregation.len(), k * half, "k={k}: aggregation count");
+        assert_eq!(ft.edge.len(), k * half, "k={k}: edge count");
+
+        // Total switches: the canonical 5k²/4.
+        let switches = ft.core.len() + ft.aggregation.len() + ft.edge.len();
+        assert_eq!(switches, 5 * k * k / 4, "k={k}: switch count must be 5k²/4");
+        assert_eq!(t.bridge_count(), switches);
+
+        // Total links: k·(k/2)² pod-internal + k·(k/2)·(k/2) uplinks
+        // = k³/2.
+        let built = t.build();
+        assert_eq!(built.bridge_links.len(), k * k * k / 2, "k={k}: edge count must be k³/2");
+
+        // Connectivity across all three layers.
+        let edges: Vec<(usize, usize)> = built
+            .bridge_links
+            .iter()
+            .map(|&l| {
+                let link = built.net.link(l);
+                (link.a.node.0, link.b.node.0)
+            })
+            .collect();
+        assert!(is_connected(switches, &edges), "k={k}: fat-tree must be connected");
+    }
+}
+
+#[test]
+fn fat_tree_layers_partition_the_switches() {
+    for k in [2usize, 4, 6] {
+        let mut t = fresh();
+        let ft = generic::fat_tree(&mut t, k);
+        let mut all: Vec<usize> = ft
+            .core
+            .iter()
+            .chain(ft.aggregation.iter())
+            .chain(ft.edge.iter())
+            .map(|b| b.0)
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 5 * k * k / 4, "k={k}: layers overlap or miss a switch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Every even arity (not just the experiment sizes) satisfies the
+    /// counting identities and stays connected.
+    #[test]
+    fn fat_tree_counts_hold_for_any_even_k(half in 1usize..=5) {
+        let k = 2 * half;
+        let mut t = fresh();
+        let ft = generic::fat_tree(&mut t, k);
+        prop_assert_eq!(ft.k, k);
+        let switches = ft.core.len() + ft.aggregation.len() + ft.edge.len();
+        prop_assert_eq!(switches, 5 * k * k / 4);
+        let built = t.build();
+        prop_assert_eq!(built.bridge_links.len(), k * k * k / 2);
+        let edges: Vec<(usize, usize)> = built
+            .bridge_links
+            .iter()
+            .map(|&l| {
+                let link = built.net.link(l);
+                (link.a.node.0, link.b.node.0)
+            })
+            .collect();
+        prop_assert!(is_connected(switches, &edges));
+    }
+
+    /// Edge switches each have exactly k/2 uplinks (to every
+    /// aggregation switch in their pod) and aggregation switches have
+    /// exactly k/2 down- plus k/2 uplinks: degree k.
+    #[test]
+    fn fat_tree_degrees(half in 1usize..=4) {
+        let k = 2 * half;
+        let mut t = fresh();
+        let ft = generic::fat_tree(&mut t, k);
+        let built = t.build();
+        let mut degree = vec![0usize; 5 * k * k / 4];
+        for &l in &built.bridge_links {
+            let link = built.net.link(l);
+            degree[link.a.node.0] += 1;
+            degree[link.b.node.0] += 1;
+        }
+        // NodeIds are assigned in bridge declaration order, so BridgeIx
+        // and NodeId agree for a host-free topology.
+        for &c in &ft.core {
+            prop_assert_eq!(degree[c.0], k, "core switch degree");
+        }
+        for &a in &ft.aggregation {
+            prop_assert_eq!(degree[a.0], k, "aggregation switch degree");
+        }
+        for &e in &ft.edge {
+            prop_assert_eq!(degree[e.0], half, "edge switch uplink degree");
+        }
+    }
+}

@@ -135,9 +135,35 @@ impl EthernetFrame {
         ((self.wire_len() + WIRE_OVERHEAD) * 8) as u64
     }
 
-    /// Decode a frame. Unknown EtherTypes and undecodable payloads fall
-    /// back to [`Payload::Raw`]; only a mangled *frame header* errors.
+    /// Decode a frame from a plain slice. Unknown EtherTypes and
+    /// undecodable payloads fall back to [`Payload::Raw`]; only a
+    /// mangled *frame header* errors.
+    ///
+    /// Any [`Bytes`] payload the result carries (`Raw` data, IPv4
+    /// transport payload) is **copied** out of `buf`, because a borrowed
+    /// slice has no shareable backing allocation. On hot paths that
+    /// already own a [`Bytes`] buffer, use [`EthernetFrame::parse_bytes`]
+    /// instead, which shares the input allocation.
     pub fn parse(buf: &[u8]) -> ParseResult<Self> {
+        Self::parse_at(buf, None)
+    }
+
+    /// Decode a frame **zero-copy**: every [`Bytes`] payload in the
+    /// result (`Raw` data, IPv4 transport payload) is a [`Bytes::slice`]
+    /// window into `buf`'s backing allocation — no byte is copied.
+    /// Flooding the decoded frame out of N ports therefore shares one
+    /// allocation across all N clones.
+    pub fn parse_bytes(buf: &Bytes) -> ParseResult<Self> {
+        Self::parse_at(buf, Some(buf))
+    }
+
+    /// Shared decode core. `shared` must view the same bytes as `buf`
+    /// when present; payloads then slice it instead of copying.
+    /// Force-inlined so each public entry point specializes away the
+    /// `shared` branches instead of paying them per payload.
+    #[inline(always)]
+    fn parse_at(buf: &[u8], shared: Option<&Bytes>) -> ParseResult<Self> {
+        debug_assert!(shared.is_none_or(|s| s.as_ptr() == buf.as_ptr() && s.len() == buf.len()));
         crate::need(buf, Self::HEADER_LEN, "ethernet")?;
         let dst = MacAddr::parse(&buf[0..6])?;
         let src = MacAddr::parse(&buf[6..12])?;
@@ -151,6 +177,15 @@ impl EthernetFrame {
             offset += 4;
         }
         let body = &buf[offset..];
+        // The whole body as a payload buffer: sliced from the shared
+        // allocation when available, copied otherwise.
+        let raw_body = |ethertype: EtherType| Payload::Raw {
+            ethertype,
+            data: match shared {
+                Some(s) => s.slice(offset..),
+                None => Bytes::copy_from_slice(body),
+            },
+        };
         let payload = if !ethertype.is_ethertype() {
             // 802.3 length framing: BPDUs live here. The declared length
             // bounds the LLC payload; padding follows.
@@ -164,25 +199,29 @@ impl EthernetFrame {
             }
             match Bpdu::parse(&body[..declared]) {
                 Ok(bpdu) => Payload::Bpdu(bpdu),
-                Err(_) => Payload::Raw { ethertype, data: Bytes::copy_from_slice(body) },
+                Err(_) => raw_body(ethertype),
             }
         } else if ethertype == EtherType::ARP {
             match ArpPacket::parse(body) {
                 Ok(arp) => Payload::Arp(arp),
-                Err(_) => Payload::Raw { ethertype, data: Bytes::copy_from_slice(body) },
+                Err(_) => raw_body(ethertype),
             }
         } else if ethertype == EtherType::IPV4 {
-            match Ipv4Packet::parse(body) {
+            let parsed = match shared {
+                Some(s) => Ipv4Packet::parse_bytes_at(s, offset),
+                None => Ipv4Packet::parse(body),
+            };
+            match parsed {
                 Ok(ip) => Payload::Ipv4(ip),
-                Err(_) => Payload::Raw { ethertype, data: Bytes::copy_from_slice(body) },
+                Err(_) => raw_body(ethertype),
             }
         } else if ethertype == EtherType::ARPPATH_CTL {
             match PathCtl::parse(body) {
                 Ok(ctl) => Payload::PathCtl(ctl),
-                Err(_) => Payload::Raw { ethertype, data: Bytes::copy_from_slice(body) },
+                Err(_) => raw_body(ethertype),
             }
         } else {
-            Payload::Raw { ethertype, data: Bytes::copy_from_slice(body) }
+            raw_body(ethertype)
         };
         Ok(EthernetFrame { dst, src, vlan, payload })
     }

@@ -94,8 +94,47 @@ impl Ipv4Packet {
         Self::HEADER_LEN + self.payload.len()
     }
 
-    /// Decode and verify the header checksum.
+    /// Decode and verify the header checksum, **copying** the transport
+    /// payload out of `buf`. When the caller owns a [`Bytes`] buffer,
+    /// [`Ipv4Packet::parse_bytes`] decodes without copying.
     pub fn parse(buf: &[u8]) -> ParseResult<Self> {
+        let total_len = Self::validate(buf)?;
+        Ok(Self::from_header(buf, Bytes::copy_from_slice(&buf[Self::HEADER_LEN..total_len])))
+    }
+
+    /// Decode and verify the header checksum, zero-copy: the returned
+    /// packet's payload is a [`Bytes::slice`] window into `buf`'s
+    /// backing allocation.
+    pub fn parse_bytes(buf: &Bytes) -> ParseResult<Self> {
+        Self::parse_bytes_at(buf, 0)
+    }
+
+    /// Zero-copy decode of the packet starting at `offset` within
+    /// `buf`. Taking the offset (rather than a pre-sliced `Bytes`)
+    /// avoids an intermediate refcounted view on the frame-decode hot
+    /// path: exactly one slice is created, for the payload.
+    pub(crate) fn parse_bytes_at(buf: &Bytes, offset: usize) -> ParseResult<Self> {
+        let body = &buf[offset..];
+        let total_len = Self::validate(body)?;
+        Ok(Self::from_header(body, buf.slice(offset + Self::HEADER_LEN..offset + total_len)))
+    }
+
+    /// Assemble a packet from a validated header and its payload bytes.
+    fn from_header(buf: &[u8], payload: Bytes) -> Self {
+        Ipv4Packet {
+            dscp_ecn: buf[1],
+            ident: be16(buf, 4),
+            ttl: buf[8],
+            proto: IpProto::from_u8(buf[9]),
+            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+            payload,
+        }
+    }
+
+    /// Validate the fixed header; returns the declared total length
+    /// (header + payload, excluding any trailing frame padding).
+    fn validate(buf: &[u8]) -> ParseResult<usize> {
         crate::need(buf, Self::HEADER_LEN, "ipv4")?;
         let ver_ihl = buf[0];
         if ver_ihl >> 4 != 4 {
@@ -131,15 +170,7 @@ impl Ipv4Packet {
                 value: flags_frag as u64,
             });
         }
-        Ok(Ipv4Packet {
-            dscp_ecn: buf[1],
-            ident: be16(buf, 4),
-            ttl: buf[8],
-            proto: IpProto::from_u8(buf[9]),
-            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
-            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
-            payload: Bytes::copy_from_slice(&buf[Self::HEADER_LEN..total_len]),
-        })
+        Ok(total_len)
     }
 
     /// Encode onto `out`, computing the header checksum.

@@ -17,11 +17,18 @@ fn ip(i: u32) -> Ipv4Addr {
     Ipv4Addr::new(10, 0, (i >> 8) as u8, (i & 0xff) as u8)
 }
 
-/// Attach a ping pair across a random cyclic graph and return total
-/// frames transmitted and probes delivered.
-fn run_broadcast_workload(kind: BridgeKind, seed: u64, horizon_ms: u64) -> (u64, u64) {
+/// Build a topology with `topo` (which returns the two bridge indices
+/// to attach hosts at), run the standard 3-ping broadcast workload to
+/// `horizon_ms`, and return total frames transmitted and probes
+/// delivered. Shared by the random-graph and fat-tree properties so
+/// the workload shape cannot silently diverge between them.
+fn run_ping_workload(
+    kind: BridgeKind,
+    horizon_ms: u64,
+    topo: impl FnOnce(&mut TopoBuilder) -> (arppath_topo::BridgeIx, arppath_topo::BridgeIx),
+) -> (u64, u64) {
     let mut t = TopoBuilder::new(kind);
-    let bridges = generic::random_connected(&mut t, 10, 8, seed);
+    let (at_p, at_r) = topo(&mut t);
     let prober = PingHost::new(
         "p",
         MacAddr::from_index(1, 1),
@@ -36,12 +43,21 @@ fn run_broadcast_workload(kind: BridgeKind, seed: u64, horizon_ms: u64) -> (u64,
         },
     );
     let responder = PingHost::new("r", MacAddr::from_index(1, 2), ip(2), 2, PingConfig::default());
-    let p = t.host(bridges[0], Box::new(prober));
-    t.host(*bridges.last().unwrap(), Box::new(responder));
+    let p = t.host(at_p, Box::new(prober));
+    t.host(at_r, Box::new(responder));
     let mut built = t.build();
     built.net.run_until(SimTime(SimDuration::millis(horizon_ms).as_nanos()));
     let prober = built.net.device::<PingHost>(built.host_nodes[p]);
     (built.net.stats().frames_sent, prober.received)
+}
+
+/// The workload across a random cyclic graph, hosts on the first and
+/// last bridges.
+fn run_broadcast_workload(kind: BridgeKind, seed: u64, horizon_ms: u64) -> (u64, u64) {
+    run_ping_workload(kind, horizon_ms, |t| {
+        let bridges = generic::random_connected(t, 10, 8, seed);
+        (bridges[0], *bridges.last().unwrap())
+    })
 }
 
 #[test]
@@ -69,6 +85,36 @@ fn learning_switch_storms_on_the_same_graphs() {
         frames > 100_000,
         "expected a broadcast storm on a cyclic graph, saw only {frames} frames"
     );
+}
+
+/// Same broadcast workload on a k-ary fat-tree: hosts on the first and
+/// last edge switches. Returns (frames transmitted, probes delivered).
+fn run_fat_tree_workload(kind: BridgeKind, k: usize, horizon_ms: u64) -> (u64, u64) {
+    run_ping_workload(kind, horizon_ms, |t| {
+        let ft = generic::fat_tree(t, k);
+        (ft.edge[0], *ft.edge.last().unwrap())
+    })
+}
+
+#[test]
+fn arppath_floods_terminate_on_fat_trees() {
+    // Fat-trees are dense with short cycles (edge–agg–edge triangles
+    // via any two aggregation switches), the classic storm substrate.
+    for k in [2, 4, 6] {
+        let (frames, delivered) =
+            run_fat_tree_workload(BridgeKind::ArpPath(ArpPathConfig::default()), k, 200);
+        let bound = 60_000 * k as u64; // hellos scale with port count
+        assert!(frames < bound, "k={k}: {frames} frames smells like a broadcast storm");
+        assert_eq!(delivered, 3, "k={k}: pings must complete across the fabric");
+    }
+}
+
+#[test]
+fn learning_switch_storms_on_fat_trees_too() {
+    // The control again: the same k=4 fabric with no loop protection
+    // melts down on the very first broadcast.
+    let (frames, _) = run_fat_tree_workload(BridgeKind::Learning(LearningConfig::default()), 4, 50);
+    assert!(frames > 100_000, "expected a storm on the k=4 fat-tree, saw {frames} frames");
 }
 
 #[test]

@@ -1,6 +1,12 @@
 //! Minimal vendored subset of the `bytes` crate: just [`Bytes`], an
 //! immutable, cheaply cloneable byte buffer backed by `Arc<[u8]>`.
 //!
+//! Like the real crate, a `Bytes` is a *view* — an `(Arc<[u8]>, start,
+//! end)` window — so [`Bytes::clone`] and [`Bytes::slice`] share the
+//! backing allocation instead of copying. This is what makes the wire
+//! crate's zero-copy decode (`EthernetFrame::parse_bytes`) and flood
+//! fan-out (N clones of one payload) allocation-free.
+//!
 //! The build environment has no registry access, so the workspace
 //! vendors exactly the API surface it consumes. Swap this for the real
 //! `bytes` crate by editing `[workspace.dependencies]` when a registry
@@ -14,39 +20,56 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable contiguous slice of memory.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Equality, ordering and hashing are all over the *visible* bytes (the
+/// window), never the backing allocation, so two `Bytes` with different
+/// backings but equal content compare equal.
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    // u32 offsets keep the struct at 24 bytes (the enum payloads that
+    // embed a Bytes are moved around constantly in the simulator);
+    // buffers past 4 GiB are rejected at construction, far beyond any
+    // frame this workspace handles.
+    start: u32,
+    end: u32,
 }
 
 impl Bytes {
     /// Creates a new empty `Bytes`.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes { data: Arc::from(&[][..]), start: 0, end: 0 }
     }
 
-    /// Creates `Bytes` from a static slice without copying semantics
-    /// mattering (this shim copies; the real crate borrows).
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let end = u32::try_from(data.len()).expect("Bytes buffers are capped at 4 GiB");
+        Bytes { data, start: 0, end }
+    }
+
+    /// Creates `Bytes` from a static slice (this shim copies once; the
+    /// real crate borrows — either way later clones/slices are shared).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Creates `Bytes` by copying the given slice.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes::from_arc(Arc::from(data))
     }
 
-    /// Number of bytes in the buffer.
+    /// Number of bytes in the view.
     pub fn len(&self) -> usize {
-        self.data.len()
+        (self.end - self.start) as usize
     }
 
-    /// Whether the buffer is empty.
+    /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
-    /// Returns a slice of self for the provided range (copying shim).
+    /// Returns a sub-view for the provided range **without copying**:
+    /// the result shares this buffer's backing allocation. Range bounds
+    /// are relative to this view and checked against its length.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -57,45 +80,66 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.data.len(),
+            Bound::Unbounded => self.len(),
         };
-        Bytes { data: Arc::from(&self.data[start..end]) }
+        assert!(start <= end, "slice start {start} past end {end}");
+        assert!(end <= self.len(), "slice end {end} past length {}", self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + start as u32,
+            end: self.start + end as u32,
+        }
     }
 
-    /// Copies the bytes into a `Vec<u8>`.
+    /// Copies the visible bytes into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self[..].to_vec()
+    }
+
+    /// True when `self` and `other` are views over the *same backing
+    /// allocation* (regardless of window). Diagnostic helper used by the
+    /// zero-copy property tests; the real `bytes` crate exposes the same
+    /// information through pointer comparison on sub-slices.
+    pub fn shares_allocation_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start as usize..self.end as usize]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        Bytes::from_arc(Arc::from(v.into_boxed_slice()))
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
@@ -120,6 +164,32 @@ impl From<String> for Bytes {
 impl FromIterator<u8> for Bytes {
     fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
         Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
     }
 }
 
@@ -150,7 +220,7 @@ impl<const N: usize> PartialEq<[u8; N]> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.iter() {
             if b.is_ascii_graphic() || b == b' ' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -175,5 +245,51 @@ mod tests {
         assert_eq!(b.slice(1..).to_vec(), vec![2, 3]);
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::from_static(b"ab"), Bytes::copy_from_slice(b"ab"));
+    }
+
+    #[test]
+    fn slice_shares_the_backing_allocation() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let s = b.slice(2..6);
+        assert_eq!(&s[..], &[2, 3, 4, 5]);
+        assert!(s.shares_allocation_with(&b), "slice must not copy");
+        // Pointer identity: the slice's bytes live inside the original.
+        let base = b.as_ptr() as usize;
+        let view = s.as_ptr() as usize;
+        assert_eq!(view, base + 2);
+        // Slicing a slice composes offsets and still shares.
+        let ss = s.slice(1..3);
+        assert_eq!(&ss[..], &[3, 4]);
+        assert!(ss.shares_allocation_with(&b));
+        assert_eq!(ss.as_ptr() as usize, base + 3);
+    }
+
+    #[test]
+    fn equality_is_content_not_allocation() {
+        let a = Bytes::from(vec![9u8, 9]);
+        let b = Bytes::copy_from_slice(&[9, 9]);
+        assert!(!a.shares_allocation_with(&b));
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |x: &Bytes| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "past length")]
+    fn out_of_range_slice_panics() {
+        let b = Bytes::from(vec![1u8, 2]);
+        let _ = b.slice(0..3);
+    }
+
+    #[test]
+    fn empty_slice_at_end_is_allowed() {
+        let b = Bytes::from(vec![1u8, 2]);
+        assert!(b.slice(2..2).is_empty());
     }
 }

@@ -4,11 +4,26 @@
 //! the surface the workspace's benches use — `Criterion`,
 //! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
 //! `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
-//! macros — with a simple wall-clock measurement loop instead of
-//! criterion's statistical machinery. Each benchmark warms up briefly,
-//! then runs a bounded timed loop and reports the mean time per
-//! iteration (plus throughput when configured). Swap for the real
-//! crate via `[workspace.dependencies]` when a registry is available.
+//! macros — with a lightweight wall-clock measurement loop instead of
+//! criterion's full statistical machinery.
+//!
+//! Each benchmark runs in three phases:
+//!
+//! 1. **Warm-up**: the routine runs unmeasured for ~¼ of the budget
+//!    (at least one iteration) so caches, branch predictors and lazy
+//!    initialization do not pollute the first sample, and to calibrate
+//!    the per-iteration cost.
+//! 2. **Sampling**: up to 15 independent samples, each a timed loop of
+//!    `iters` iterations sized from the calibration; slow benches
+//!    degrade to fewer single-iteration samples.
+//! 3. **Statistics**: the reported figure is the **median** ns/iter
+//!    across samples; samples outside the Tukey fences (1.5 × IQR past
+//!    the quartiles) are flagged as outliers and excluded from the
+//!    reported mean. Throughput lines derive from the median.
+//!
+//! See `vendor/README.md` for the shim's statistical limits. Swap for
+//! the real crate via `[workspace.dependencies]` when a registry is
+//! available.
 
 #![forbid(unsafe_code)]
 
@@ -143,6 +158,49 @@ impl Bencher {
     }
 }
 
+/// Preferred number of independent measurement samples per benchmark.
+const TARGET_SAMPLES: usize = 15;
+
+/// Summary statistics over one benchmark's samples (ns per iteration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleStats {
+    /// Median ns/iter across all samples — the headline number.
+    pub median_ns: f64,
+    /// Mean ns/iter over the samples *inside* the Tukey fences.
+    pub trimmed_mean_ns: f64,
+    /// Total samples measured.
+    pub samples: usize,
+    /// Samples rejected as outliers: outside the Tukey fences
+    /// `[q1 − 1.5 × IQR, q3 + 1.5 × IQR]`.
+    pub outliers: usize,
+}
+
+/// Compute median / trimmed mean / outlier count from raw per-iteration
+/// sample times. Exposed (and unit-tested) so the statistics are
+/// verifiable without timing anything.
+pub fn summarize(samples_ns: &[f64]) -> SampleStats {
+    assert!(!samples_ns.is_empty(), "no samples");
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let n = sorted.len();
+    let median_ns =
+        if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+    // Tukey fences: quartiles ± 1.5 × IQR. With < 4 samples the fences
+    // collapse to "keep everything".
+    let (lo, hi) = if n >= 4 {
+        let q1 = sorted[n / 4];
+        let q3 = sorted[(3 * n) / 4];
+        let iqr = q3 - q1;
+        (q1 - 1.5 * iqr, q3 + 1.5 * iqr)
+    } else {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    };
+    let kept: Vec<f64> = sorted.iter().copied().filter(|&v| v >= lo && v <= hi).collect();
+    let outliers = n - kept.len();
+    let trimmed_mean_ns = kept.iter().sum::<f64>() / kept.len() as f64;
+    SampleStats { median_ns, trimmed_mean_ns, samples: n, outliers }
+}
+
 fn run_one<F>(id: &str, throughput: Option<Throughput>, budget: Duration, test_mode: bool, mut f: F)
 where
     F: FnMut(&mut Bencher),
@@ -153,24 +211,56 @@ where
         println!("test {id} ... ok");
         return;
     }
-    // Calibrate: run single iterations until we know roughly how long one takes.
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
-    f(&mut b);
-    let per_iter = b.elapsed.max(Duration::from_nanos(1));
-    // Size the measured batch to fit the budget, capped for slow benches.
-    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
-    let mut b = Bencher { iters, elapsed: Duration::ZERO };
-    f(&mut b);
-    let mean_ns = b.elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    // Phase 1 — warm-up + calibration: run unmeasured for ~¼ of the
+    // budget (at least once), remembering the fastest single-iteration
+    // time seen (the least-disturbed estimate of the true cost).
+    let warmup_budget = budget / 4;
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::MAX;
+    loop {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = per_iter.min(b.elapsed.max(Duration::from_nanos(1)));
+        if warm_start.elapsed() >= warmup_budget {
+            break;
+        }
+    }
+    // Phase 2 — sampling: size each sample's inner loop from the
+    // calibration; benches slower than one sample budget degrade to
+    // single-iteration samples, and very slow ones to fewer samples.
+    // The 3-sample floor keeps the median meaningful, so a bench whose
+    // single iteration exceeds the budget runs ~4× its iteration time
+    // in total (one warm-up + three samples) — the price of reporting
+    // a median instead of the old shim's single batch.
+    let sample_budget = budget / TARGET_SAMPLES as u32;
+    let iters = (sample_budget.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+    let samples = if per_iter > sample_budget {
+        ((2 * budget.as_nanos()) / per_iter.as_nanos()).clamp(3, TARGET_SAMPLES as u128) as usize
+    } else {
+        TARGET_SAMPLES
+    };
+    let mut sample_ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        sample_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    // Phase 3 — statistics.
+    let stats = summarize(&sample_ns);
     let rate = throughput.map(|t| match t {
         Throughput::Bytes(n) => {
-            format!("  {:>10.1} MiB/s", n as f64 / mean_ns * 1e9 / (1 << 20) as f64)
+            format!("  {:>10.1} MiB/s", n as f64 / stats.median_ns * 1e9 / (1 << 20) as f64)
         }
-        Throughput::Elements(n) => format!("  {:>10.1} Melem/s", n as f64 / mean_ns * 1e9 / 1e6),
+        Throughput::Elements(n) => {
+            format!("  {:>10.1} Melem/s", n as f64 / stats.median_ns * 1e9 / 1e6)
+        }
     });
     println!(
-        "{id:<50} time: {:>12} /iter ({iters} iters){}",
-        format_ns(mean_ns),
+        "{id:<50} median: {:>12} /iter  mean: {:>12} ({} samples x {iters} iters, {} outliers){}",
+        format_ns(stats.median_ns),
+        format_ns(stats.trimmed_mean_ns),
+        stats.samples,
+        stats.outliers,
         rate.unwrap_or_default()
     );
 }
@@ -228,5 +318,35 @@ mod tests {
         });
         g.finish();
         assert!(ran >= 1, "bench closure must run");
+    }
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        let s = summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.median_ns, 2.0);
+        assert_eq!(s.samples, 3);
+        let s = summarize(&[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.median_ns, 2.5);
+    }
+
+    #[test]
+    fn outliers_are_rejected_from_mean_but_not_median_rank() {
+        // Eleven well-behaved samples around 100 plus one wild 10_000
+        // (a scheduler preemption): the median barely moves and the
+        // trimmed mean ignores the spike entirely.
+        let mut v = vec![98.0, 99.0, 99.5, 100.0, 100.0, 100.5, 101.0, 101.0, 102.0, 102.5, 103.0];
+        v.push(10_000.0);
+        let s = summarize(&v);
+        assert_eq!(s.samples, 12);
+        assert_eq!(s.outliers, 1);
+        assert!((s.median_ns - 100.5).abs() < 1.0, "median {}", s.median_ns);
+        assert!(s.trimmed_mean_ns < 105.0, "trimmed mean {} polluted", s.trimmed_mean_ns);
+    }
+
+    #[test]
+    fn tiny_sample_sets_keep_everything() {
+        let s = summarize(&[1.0, 1000.0]);
+        assert_eq!(s.outliers, 0, "fences collapse below 4 samples");
+        assert_eq!(s.trimmed_mean_ns, 500.5);
     }
 }
