@@ -1,0 +1,19 @@
+//! Criterion wrapper for experiment E8 (fat-tree load balance): times
+//! a scaled-down permutation + hotspot workload on a k=4 fabric — the
+//! end-to-end cost of a many-host scenario, and the number the future
+//! sharded-simulation PR must beat.
+
+use arppath_bench::experiments::e8_fattree::{run, E8Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_fattree");
+    g.sample_size(10);
+    g.bench_function("k4_16hosts_5dgrams_both_patterns", |b| {
+        b.iter(|| run(&E8Params { k: 4, hosts_per_edge: 2, datagrams: 5, ..Default::default() }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

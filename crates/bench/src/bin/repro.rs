@@ -6,10 +6,10 @@
 //! cargo run --release -p arppath-bench --bin repro -- --quick # small params
 //! ```
 //!
-//! Output is the markdown tables recorded in `EXPERIMENTS.md`.
+//! Output is the markdown tables described in `docs/EXPERIMENTS.md`.
 
 use arppath_bench::experiments::{
-    e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation,
+    e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation, e8_fattree,
 };
 use arppath_netsim::SimDuration;
 
@@ -104,6 +104,37 @@ fn main() {
         };
         let result = e7_ablation::run(&params);
         println!("{}", e7_ablation::table(&result).render_markdown());
+    }
+
+    if want("e8") {
+        // Fabric sweep: hosts_per_edge grows with k so the biggest run
+        // carries a four-digit host count (k=8: 32 racks × 32 hosts).
+        let ks: &[(usize, usize)] = if quick { &[(4, 2)] } else { &[(4, 16), (6, 24), (8, 32)] };
+        let mut results = Vec::new();
+        for &(k, hosts_per_edge) in ks {
+            eprintln!(
+                "[repro] running E8 (fat-tree load balance), k={k}, {} hosts...",
+                k * k / 2 * hosts_per_edge
+            );
+            let params = e8_fattree::E8Params {
+                k,
+                hosts_per_edge,
+                datagrams: if quick { 5 } else { 10 },
+                hot_receivers: (k * k / 2 * hosts_per_edge / 32).max(2),
+                ..Default::default()
+            };
+            let started = std::time::Instant::now();
+            results.push(e8_fattree::run(&params));
+            eprintln!("[repro] e8 k={k} took {} ms (both patterns)", started.elapsed().as_millis());
+        }
+        println!("{}", e8_fattree::table(&results).render_markdown());
+        for r in &results {
+            println!("{}", e8_fattree::utilization_table(r).render_markdown());
+        }
+        println!(
+            "permutation spreads over a majority of cores (jain > 0.5, lossless): {}\n",
+            if results.iter().all(e8_fattree::verify_spread) { "HOLDS" } else { "VIOLATED" }
+        );
     }
 
     eprintln!("[repro] done.");

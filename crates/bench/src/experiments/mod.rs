@@ -4,6 +4,18 @@
 //! result struct, plus a `table()` renderer — so the `repro` binary,
 //! the integration tests and the Criterion benches all share one
 //! implementation.
+//!
+//! # Numbering: where is E4?
+//!
+//! The experiment numbers E1–E8 are stable across the repository
+//! (README table, `docs/EXPERIMENTS.md`, the `repro` binary, CI), and
+//! **E4 is deliberately absent from this module list**: it is the
+//! paper's Figure 1 *discovery walkthrough* — a step-by-step assertion
+//! suite over one ARP exchange, not a parameterized run that produces
+//! a table. It lives as the integration suite
+//! `tests/fig1_walkthrough.rs` (and the `quickstart` example replays
+//! it interactively). Every other number has both a module here and a
+//! `repro` subcommand.
 
 pub mod e1_latency;
 pub mod e2_repair;
@@ -11,6 +23,7 @@ pub mod e3_linerate;
 pub mod e5_load;
 pub mod e6_proxy;
 pub mod e7_ablation;
+pub mod e8_fattree;
 
 use arppath_host::{PingConfig, PingHost};
 use arppath_netsim::{NodeId, SimDuration};

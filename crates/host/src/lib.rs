@@ -9,7 +9,9 @@
 //! * [`PingHost`] — the RTT prober behind experiment E1's latency
 //!   tables;
 //! * [`StreamServer`] / [`StreamClient`] — the video-streaming workload
-//!   behind experiment E2's path-repair measurements.
+//!   behind experiment E2's path-repair measurements;
+//! * [`TrafficHost`] + [`workload::pairings`] — the seeded many-host
+//!   UDP workload behind experiment E8's fat-tree load-balance study.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,9 +19,11 @@
 pub mod ping;
 pub mod stack;
 pub mod stream;
+pub mod workload;
 
 pub use ping::{PingConfig, PingHost};
 pub use stack::{HostCounters, HostStack, Upcall};
 pub use stream::{
     StreamClient, StreamClientConfig, StreamConfig, StreamServer, REPORT_PORT, STREAM_PORT,
 };
+pub use workload::{pairings, TrafficConfig, TrafficHost, TrafficPattern};

@@ -7,6 +7,16 @@
 /// link carries everything (what an STP tree degenerates to on its root
 /// links). Zero-valued entries count; an empty or all-zero slice
 /// returns 0.0.
+///
+/// # Example
+///
+/// ```
+/// use arppath_metrics::jain_index;
+///
+/// assert_eq!(jain_index(&[7.0, 7.0, 7.0, 7.0]), 1.0);      // perfect spread
+/// assert_eq!(jain_index(&[12.0, 0.0, 0.0, 0.0]), 0.25);    // one hot link: 1/n
+/// assert_eq!(jain_index(&[]), 0.0);                        // degenerate
+/// ```
 pub fn jain_index(loads: &[f64]) -> f64 {
     if loads.is_empty() {
         return 0.0;

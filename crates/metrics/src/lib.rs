@@ -1,21 +1,46 @@
 //! Measurement utilities for the experiment harness: latency samples
 //! with exact percentiles, time series with gap analysis (video stall
-//! detection), fairness indices, and plain-text table rendering for the
-//! tables in `EXPERIMENTS.md`.
+//! detection), fairness indices, utilization histograms, path-diversity
+//! counters, and plain-text table rendering for the tables in
+//! `docs/EXPERIMENTS.md`.
 //!
 //! Everything here is deliberately simple and exact — experiment scale
 //! is thousands of samples, so sorting beats approximate sketches and
 //! keeps the reproduction bit-stable.
+//!
+//! # Example
+//!
+//! The typical harness flow: collect per-link loads, score their
+//! spread, and render a table.
+//!
+//! ```
+//! use arppath_metrics::{jain_index, Table, UtilizationHistogram};
+//!
+//! let loads = [120.0, 118.0, 121.0, 4.0]; // three busy links, one idle
+//! let jain = jain_index(&loads);
+//! assert!(jain > 0.75 && jain < 1.0);
+//!
+//! let hist = UtilizationHistogram::from_loads(&loads);
+//! assert_eq!(hist.count_in_range(0.0, 0.25), 1); // the idle link
+//!
+//! let mut t = Table::new("spread", &["metric", "value"]);
+//! t.row(&["jain".into(), format!("{jain:.3}")]);
+//! assert!(t.render_markdown().contains("| jain"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diversity;
 pub mod fairness;
 pub mod latency;
 pub mod series;
 pub mod table;
+pub mod utilization;
 
+pub use diversity::DiversityCounter;
 pub use fairness::jain_index;
 pub use latency::LatencyStats;
 pub use series::TimeSeries;
 pub use table::Table;
+pub use utilization::UtilizationHistogram;

@@ -6,6 +6,22 @@
 //! around the failure instant is the stall the viewer experienced.
 
 /// A series of `(timestamp_ns, value)` observations in arrival order.
+///
+/// # Example
+///
+/// Chunks arriving every 10 ms with one 50 ms hole — the hole is the
+/// stall a viewer would see:
+///
+/// ```
+/// use arppath_metrics::TimeSeries;
+///
+/// let mut s = TimeSeries::new();
+/// for t in [0, 10, 20, 70, 80] {
+///     s.push(t * 1_000_000, 1.0); // ms → ns
+/// }
+/// assert_eq!(s.max_gap(), Some((20_000_000, 50_000_000)));
+/// assert_eq!(s.gaps_over(20_000_000).len(), 1);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(u64, f64)>,

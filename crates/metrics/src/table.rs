@@ -1,10 +1,24 @@
 //! Plain-text table rendering: the harness's replacement for the demo
-//! GUI's graphs. Markdown output is pasted into `EXPERIMENTS.md`; CSV
+//! GUI's graphs. Markdown output is what `repro` prints (see
+//! `docs/EXPERIMENTS.md` for the expected tables); CSV
 //! output feeds external plotting.
 
 use std::fmt;
 
 /// A rectangular table with a header row.
+///
+/// # Example
+///
+/// ```
+/// use arppath_metrics::Table;
+///
+/// let mut t = Table::new("E1: latency", &["pair", "rtt"]);
+/// t.row(&["A→B".into(), "12.3us".into()]);
+/// let md = t.render_markdown();
+/// assert!(md.starts_with("### E1: latency"));
+/// assert!(md.contains("| A→B  | 12.3us |"));
+/// assert_eq!(t.render_csv().lines().count(), 2); // header + one row
+/// ```
 #[derive(Debug, Clone)]
 pub struct Table {
     title: String,

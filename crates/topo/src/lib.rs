@@ -12,4 +12,6 @@ pub mod generic;
 
 pub use builder::{BridgeIx, BridgeKind, BuiltTopology, TopoBuilder};
 pub use figures::{fig2_topology, fig3_topology, Fig1, Fig2, Fig3};
-pub use generic::{fat_tree, full_mesh, grid, line, random_connected, ring, FatTree};
+pub use generic::{
+    fat_tree, fat_tree_jittered, full_mesh, grid, line, random_connected, ring, FatTree,
+};

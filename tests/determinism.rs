@@ -1,6 +1,6 @@
 //! The simulator's determinism contract, end to end: identical
-//! scenarios produce bit-identical traces, and every experiment result
-//! in `EXPERIMENTS.md` is therefore exactly reproducible.
+//! scenarios produce bit-identical traces, and every experiment table
+//! in `docs/EXPERIMENTS.md` is therefore exactly reproducible.
 
 use arppath::ArpPathConfig;
 use arppath_host::{PingConfig, PingHost};
