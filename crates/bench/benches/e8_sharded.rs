@@ -1,0 +1,36 @@
+//! Criterion harness for the sharded parallel engine: the same E8
+//! fat-tree workload at 1, 2 and 4 worker threads. The 1-shard row
+//! runs the classic single-threaded engine (the baseline), so the
+//! ratio between rows is the parallel speedup — or, on a single-core
+//! machine, the synchronization overhead laid bare (see the
+//! thread-count caveats in `BASELINES.md`).
+//!
+//! The workload is kept small enough for a bench loop (k=4, 16 hosts)
+//! but crosses shard boundaries on every inter-pod flow; the k=8 scale
+//! comparison lives in the `repro e8 --shards N` wall clocks recorded
+//! in `BASELINES.md`.
+
+use arppath_bench::experiments::e8_fattree::{run, E8Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_e8_sharded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_sharded");
+    g.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        g.bench_function(&format!("k4_16hosts_5dgrams_{shards}shards"), |b| {
+            b.iter(|| {
+                run(&E8Params {
+                    k: 4,
+                    hosts_per_edge: 2,
+                    datagrams: 5,
+                    shards,
+                    ..Default::default()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e8_sharded);
+criterion_main!(benches);

@@ -4,21 +4,60 @@
 //! cargo run --release -p arppath-bench --bin repro            # all
 //! cargo run --release -p arppath-bench --bin repro -- e1 e2   # subset
 //! cargo run --release -p arppath-bench --bin repro -- --quick # small params
+//! cargo run --release -p arppath-bench --bin repro -- e8 --shards 4
+//! cargo run --release -p arppath-bench --bin repro -- e8 --quick --trace-out e8.trace
 //! ```
 //!
 //! Output is the markdown tables described in `docs/EXPERIMENTS.md`.
+//! `--shards N` runs E8 on the sharded parallel engine (N worker
+//! threads, rack-major partition); `--trace-out FILE` additionally
+//! writes the merged, timestamp-sorted delivery trace of the first E8
+//! fabric's permutation run — CI diffs a sharded trace against a
+//! single-threaded one to hold the equivalence contract.
 
 use arppath_bench::experiments::{
     e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation, e8_fattree,
 };
+use arppath_host::TrafficPattern;
 use arppath_netsim::SimDuration;
 
+/// Pull `--flag value` or `--flag=value` out of `args`, consuming it.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        assert!(i + 1 < args.len(), "{flag} needs a value");
+        let v = args.remove(i + 1);
+        args.remove(i);
+        return Some(v);
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let v = args.remove(i)[prefix.len()..].to_string();
+        return Some(v);
+    }
+    None
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let shards: usize = take_value(&mut args, "--shards")
+        .map(|v| v.parse().expect("--shards expects a number"))
+        .unwrap_or(1);
+    assert!(shards >= 1, "--shards must be at least 1");
+    let trace_out = take_value(&mut args, "--trace-out");
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
+    // Both flags only act on E8; warn instead of silently ignoring
+    // them when the selection excludes it.
+    if !want("e8") {
+        if shards > 1 {
+            eprintln!("[repro] warning: --shards only affects e8, which is not selected");
+        }
+        if trace_out.is_some() {
+            eprintln!("[repro] warning: --trace-out only applies to e8, which is not selected");
+        }
+    }
 
     if want("e1") {
         eprintln!("[repro] running E1 (Fig. 2 latency, ARP-Path vs STP root sweep)...");
@@ -110,31 +149,51 @@ fn main() {
         // Fabric sweep: hosts_per_edge grows with k so the biggest run
         // carries a four-digit host count (k=8: 32 racks × 32 hosts).
         let ks: &[(usize, usize)] = if quick { &[(4, 2)] } else { &[(4, 16), (6, 24), (8, 32)] };
+        let e8_params = |&(k, hosts_per_edge): &(usize, usize)| e8_fattree::E8Params {
+            k,
+            hosts_per_edge,
+            datagrams: if quick { 5 } else { 10 },
+            hot_receivers: (k * k / 2 * hosts_per_edge / 32).max(2),
+            shards,
+            ..Default::default()
+        };
         let mut results = Vec::new();
-        for &(k, hosts_per_edge) in ks {
+        for kh in ks {
+            let params = e8_params(kh);
             eprintln!(
-                "[repro] running E8 (fat-tree load balance), k={k}, {} hosts...",
-                k * k / 2 * hosts_per_edge
+                "[repro] running E8 (fat-tree load balance), k={}, {} hosts, {shards} shard(s)...",
+                params.k,
+                params.k * params.k / 2 * params.hosts_per_edge
             );
-            let params = e8_fattree::E8Params {
-                k,
-                hosts_per_edge,
-                datagrams: if quick { 5 } else { 10 },
-                hot_receivers: (k * k / 2 * hosts_per_edge / 32).max(2),
-                ..Default::default()
-            };
             let started = std::time::Instant::now();
             results.push(e8_fattree::run(&params));
-            eprintln!("[repro] e8 k={k} took {} ms (both patterns)", started.elapsed().as_millis());
+            eprintln!(
+                "[repro] e8 k={} took {} ms (both patterns, {shards} shard(s))",
+                params.k,
+                started.elapsed().as_millis()
+            );
         }
         println!("{}", e8_fattree::table(&results).render_markdown());
         for r in &results {
             println!("{}", e8_fattree::utilization_table(r).render_markdown());
+            if let Some(shard_summary) = &r.shard_summary {
+                println!("{}", shard_summary.render_markdown());
+            }
         }
         println!(
             "permutation spreads over a majority of cores (jain > 0.5, lossless): {}\n",
             if results.iter().all(e8_fattree::verify_spread) { "HOLDS" } else { "VIOLATED" }
         );
+        if let Some(path) = &trace_out {
+            // The canonical artifact: the first fabric's permutation
+            // delivery trace, re-run with tracing enabled. Identical
+            // bytes regardless of --shards.
+            eprintln!("[repro] capturing E8 delivery trace ({shards} shard(s)) -> {path}");
+            let trace = e8_fattree::delivery_trace(&e8_params(&ks[0]), TrafficPattern::Permutation);
+            let mut body = trace.join("\n");
+            body.push('\n');
+            std::fs::write(path, body).expect("write --trace-out file");
+        }
     }
 
     eprintln!("[repro] done.");

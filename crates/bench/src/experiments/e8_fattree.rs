@@ -21,13 +21,19 @@
 //! identical tables, which `tests/fat_tree_workload.rs` pins.
 
 use super::{host_ip, host_mac};
-use arppath::ArpPathConfig;
+use arppath::{ArpPathBridge, ArpPathConfig};
 use arppath_host::{pairings, TrafficConfig, TrafficHost, TrafficPattern};
 use arppath_metrics::{jain_index, DiversityCounter, Table, UtilizationHistogram};
-use arppath_netsim::{NodeId, PortNo, SimDuration, SimTime};
-use arppath_topo::{generic, BridgeIx, BridgeKind, BuiltTopology, TopoBuilder};
+use arppath_netsim::{
+    DeliveryTracer, Dir, DirStats, Endpoint, LinkId, NodeId, PortNo, ShardStats, SimDuration,
+    SimTime,
+};
+use arppath_topo::{
+    generic, BridgeIx, BridgeKind, BuiltTopology, FatTree, Partition, ShardedTopology, TopoBuilder,
+};
 use arppath_wire::MacAddr;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// Parameters of one E8 run (one fabric size, both patterns).
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +53,14 @@ pub struct E8Params {
     /// Hot receivers for the hotspot pattern (clamped to the host
     /// count).
     pub hot_receivers: usize,
+    /// Worker threads for the simulation. `1` runs the classic
+    /// single-threaded engine; `≥ 2` runs
+    /// [`arppath_netsim::ShardedNetwork`] under the rack-major
+    /// partition ([`Partition::rack_major`]), clamped to the fabric's
+    /// pod count `k` — same scenario, same results
+    /// (`tests/sharded_equivalence.rs` pins trace identity),
+    /// different wall clock.
+    pub shards: usize,
 }
 
 impl Default for E8Params {
@@ -58,6 +72,7 @@ impl Default for E8Params {
             payload_len: 700,
             seed: 0xE8,
             hot_receivers: 4,
+            shards: 1,
         }
     }
 }
@@ -101,29 +116,136 @@ pub struct E8Row {
 pub struct E8Result {
     /// Permutation row then hotspot row.
     pub rows: Vec<E8Row>,
+    /// Per-shard utilization report (sharded runs only; from the
+    /// permutation pattern's run).
+    pub shard_summary: Option<Table>,
+}
+
+/// The fabric under measurement: the same scenario instantiated on
+/// either engine, behind one accessor surface so every metric below is
+/// computed identically for single-threaded and sharded runs.
+enum Fabric {
+    Single(BuiltTopology),
+    Sharded(ShardedTopology),
+}
+
+impl Fabric {
+    fn run_until(&mut self, until: SimTime) {
+        match self {
+            Fabric::Single(b) => b.net.run_until(until),
+            Fabric::Sharded(s) => s.net.run_until(until),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            Fabric::Single(b) => b.net.now(),
+            Fabric::Sharded(s) => s.net.now(),
+        }
+    }
+
+    fn bridge_nodes(&self) -> &[NodeId] {
+        match self {
+            Fabric::Single(b) => &b.bridge_nodes,
+            Fabric::Sharded(s) => &s.bridge_nodes,
+        }
+    }
+
+    fn host_nodes(&self) -> &[NodeId] {
+        match self {
+            Fabric::Single(b) => &b.host_nodes,
+            Fabric::Sharded(s) => &s.host_nodes,
+        }
+    }
+
+    fn bridge_links(&self) -> &[LinkId] {
+        match self {
+            Fabric::Single(b) => &b.bridge_links,
+            Fabric::Sharded(s) => &s.bridge_links,
+        }
+    }
+
+    fn link_endpoints(&self, l: LinkId) -> (Endpoint, Endpoint) {
+        match self {
+            Fabric::Single(b) => {
+                let lk = b.net.link(l);
+                (lk.a, lk.b)
+            }
+            Fabric::Sharded(s) => s.net.link_endpoints(l),
+        }
+    }
+
+    fn link_stats(&self, l: LinkId, dir: Dir) -> DirStats {
+        match self {
+            Fabric::Single(b) => b.net.link(l).stats(dir),
+            Fabric::Sharded(s) => s.net.link_stats(l, dir),
+        }
+    }
+
+    fn arppath(&self, ix: BridgeIx) -> &ArpPathBridge {
+        match self {
+            Fabric::Single(b) => b.arppath(ix),
+            Fabric::Sharded(s) => s.arppath(ix),
+        }
+    }
+
+    fn traffic_host(&self, node: NodeId) -> &TrafficHost {
+        match self {
+            Fabric::Single(b) => b.net.device::<TrafficHost>(node),
+            Fabric::Sharded(s) => s.net.device::<TrafficHost>(node),
+        }
+    }
 }
 
 /// Walks learned unicast paths over one built topology. The fabric
 /// adjacency maps are built once at construction, so walking every
 /// host pair (1024 at k=8) costs hops, not map rebuilds.
 pub struct PathWalker<'a> {
-    built: &'a BuiltTopology,
-    /// (node, port) → peer node, over bridge-to-bridge links only.
-    peer: BTreeMap<(NodeId, PortNo), NodeId>,
-    ix_of: BTreeMap<NodeId, usize>,
+    /// ARP-Path logic per bridge, by [`BridgeIx`].
+    bridges: Vec<&'a ArpPathBridge>,
+    /// (bridge ix, port) → peer bridge ix, over fabric links only.
+    peer: BTreeMap<(usize, PortNo), usize>,
 }
 
 impl<'a> PathWalker<'a> {
     /// Index the fabric adjacency of `built`.
     pub fn new(built: &'a BuiltTopology) -> Self {
+        Self::from_parts(
+            built.bridge_nodes.len(),
+            &built.bridge_nodes,
+            built.bridge_links.iter().map(|&l| {
+                let lk = built.net.link(l);
+                (lk.a, lk.b)
+            }),
+            |ix| built.arppath(ix),
+        )
+    }
+
+    /// Index the fabric adjacency of either engine's instantiation.
+    fn from_fabric(fabric: &'a Fabric) -> Self {
+        Self::from_parts(
+            fabric.bridge_nodes().len(),
+            fabric.bridge_nodes(),
+            fabric.bridge_links().iter().map(|&l| fabric.link_endpoints(l)),
+            |ix| fabric.arppath(ix),
+        )
+    }
+
+    fn from_parts(
+        n: usize,
+        bridge_nodes: &[NodeId],
+        links: impl Iterator<Item = (Endpoint, Endpoint)>,
+        arppath: impl Fn(BridgeIx) -> &'a ArpPathBridge,
+    ) -> Self {
+        let ix_of: BTreeMap<NodeId, usize> =
+            bridge_nodes.iter().enumerate().map(|(i, &node)| (node, i)).collect();
         let mut peer = BTreeMap::new();
-        for &l in &built.bridge_links {
-            let lk = built.net.link(l);
-            peer.insert((lk.a.node, lk.a.port), lk.b.node);
-            peer.insert((lk.b.node, lk.b.port), lk.a.node);
+        for (a, b) in links {
+            peer.insert((ix_of[&a.node], a.port), ix_of[&b.node]);
+            peer.insert((ix_of[&b.node], b.port), ix_of[&a.node]);
         }
-        let ix_of = built.bridge_nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-        PathWalker { built, peer, ix_of }
+        let bridges = (0..n).map(|i| arppath(BridgeIx(i))).collect();
+        PathWalker { bridges, peer }
     }
 
     /// Walk the learned unicast path from `from` toward `target`,
@@ -133,12 +255,12 @@ impl<'a> PathWalker<'a> {
     pub fn walk(&self, from: BridgeIx, target: MacAddr, now: SimTime) -> Vec<BridgeIx> {
         let mut visited = vec![from];
         let mut cur = from;
-        for _ in 0..self.built.bridge_nodes.len() {
-            let Some(e) = self.built.arppath(cur).entry_of(target, now) else { break };
-            let Some(&next) = self.peer.get(&(self.built.bridge_nodes[cur.0], e.port)) else {
+        for _ in 0..self.bridges.len() {
+            let Some(e) = self.bridges[cur.0].entry_of(target, now) else { break };
+            let Some(&next) = self.peer.get(&(cur.0, e.port)) else {
                 break; // the entry points at a host port: destination reached
             };
-            let next_ix = BridgeIx(self.ix_of[&next]);
+            let next_ix = BridgeIx(next);
             if visited.contains(&next_ix) {
                 break; // defensive: a loop here would be a protocol bug
             }
@@ -160,12 +282,20 @@ pub fn walk_path(
     PathWalker::new(built).walk(from, target, now)
 }
 
-fn run_pattern(params: &E8Params, pattern: TrafficPattern, label: &'static str) -> E8Row {
+/// Lay out one E8 scenario: the jittered fabric, the seeded workload's
+/// hosts, and the run deadline. Shared verbatim by the single-threaded
+/// path, the sharded path and the delivery-trace capture, so all three
+/// simulate the *same* network.
+fn scenario(
+    params: &E8Params,
+    pattern: TrafficPattern,
+) -> (TopoBuilder, FatTree, Vec<usize>, SimTime) {
     let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
     // Jittered fabric delays: on a perfectly symmetric tree every race
     // resolves by the deterministic tie-break and all flows funnel
     // onto one core. The jitter seed derives from the workload seed so
-    // one E8Params value pins the whole scenario.
+    // one E8Params value pins the whole scenario. (The jitter also
+    // sets the sharded engine's lookahead: ≥ 1 µs per cut link.)
     let ft = generic::fat_tree_jittered(&mut t, params.k, params.seed.wrapping_add(0xFA7));
     let n = ft.host_capacity(params.hosts_per_edge);
     let pairs = pairings(n, pattern, params.seed);
@@ -190,25 +320,52 @@ fn run_pattern(params: &E8Params, pattern: TrafficPattern, label: &'static str) 
         let host = TrafficHost::new(format!("h{id}"), host_mac(id), host_ip(id), cfg);
         t.host(ft.edge_of_host(i, params.hosts_per_edge), Box::new(host));
     }
-    let mut built = t.build();
     let deadline = warmup
         + stagger.times(n as u64)
         + interval.times(params.datagrams)
         + SimDuration::millis(200);
-    built.net.run_until(SimTime(deadline.as_nanos()));
-    let now = built.net.now();
+    (t, ft, pairs, SimTime(deadline.as_nanos()))
+}
+
+/// Instantiate a prepared scenario on the engine `params.shards` asks
+/// for (rack-major partition when sharded). The worker count is
+/// clamped to the fabric's pod count `k` — rack-major assigns whole
+/// pods, so a k=4 fabric can use at most 4 workers even when the
+/// sweep's larger fabrics use more (the per-shard table reports the
+/// count actually used).
+fn instantiate(params: &E8Params, t: TopoBuilder, ft: &FatTree, trace: bool) -> Fabric {
+    let shards = params.shards.min(ft.k);
+    if shards > 1 {
+        let hosts = ft.host_capacity(params.hosts_per_edge);
+        let partition = Partition::rack_major(ft, params.hosts_per_edge, hosts, shards);
+        Fabric::Sharded(t.build_sharded(&partition, trace))
+    } else {
+        Fabric::Single(t.build())
+    }
+}
+
+fn run_pattern(
+    params: &E8Params,
+    pattern: TrafficPattern,
+    label: &'static str,
+) -> (E8Row, Option<Table>) {
+    let (t, ft, pairs, deadline) = scenario(params, pattern);
+    let n = pairs.len();
+    let mut fabric = instantiate(params, t, &ft, false);
+    fabric.run_until(deadline);
+    let now = fabric.now();
 
     // Core links: exactly one endpoint on a core switch.
-    let core_nodes: Vec<NodeId> = ft.core.iter().map(|&c| built.bridge_nodes[c.0]).collect();
-    let core_loads: Vec<f64> = built
-        .bridge_links
+    let core_nodes: Vec<NodeId> = ft.core.iter().map(|&c| fabric.bridge_nodes()[c.0]).collect();
+    let core_loads: Vec<f64> = fabric
+        .bridge_links()
         .iter()
         .filter_map(|&l| {
-            let lk = built.net.link(l);
-            let is_core = core_nodes.contains(&lk.a.node) || core_nodes.contains(&lk.b.node);
+            let (a, b) = fabric.link_endpoints(l);
+            let is_core = core_nodes.contains(&a.node) || core_nodes.contains(&b.node);
             is_core.then(|| {
-                (lk.stats(arppath_netsim::Dir::AtoB).tx_bytes
-                    + lk.stats(arppath_netsim::Dir::BtoA).tx_bytes) as f64
+                (fabric.link_stats(l, Dir::AtoB).tx_bytes
+                    + fabric.link_stats(l, Dir::BtoA).tx_bytes) as f64
             })
         })
         .collect();
@@ -218,7 +375,7 @@ fn run_pattern(params: &E8Params, pattern: TrafficPattern, label: &'static str) 
 
     // Path diversity: which core each pair's learned path crosses.
     let mut diversity = DiversityCounter::new();
-    let walker = PathWalker::new(&built);
+    let walker = PathWalker::from_fabric(&fabric);
     for (i, &dst) in pairs.iter().enumerate() {
         let from = ft.edge_of_host(i, params.hosts_per_edge);
         let path = walker.walk(from, host_mac((dst + 1) as u32), now);
@@ -231,13 +388,18 @@ fn run_pattern(params: &E8Params, pattern: TrafficPattern, label: &'static str) 
 
     let mut sent = 0u64;
     let mut delivered = 0u64;
-    for &h in &built.host_nodes {
-        let host = built.net.device::<TrafficHost>(h);
+    for &h in fabric.host_nodes() {
+        let host = fabric.traffic_host(h);
         sent += host.sent();
         delivered += host.rx_datagrams;
     }
 
-    E8Row {
+    let shard_summary = match &fabric {
+        Fabric::Single(_) => None,
+        Fabric::Sharded(s) => Some(shard_table(params.k, &s.net.shard_stats(), s.net.lookahead())),
+    };
+
+    let row = E8Row {
         pattern: label,
         k: params.k,
         hosts: n,
@@ -251,21 +413,73 @@ fn run_pattern(params: &E8Params, pattern: TrafficPattern, label: &'static str) 
         delivered,
         sent,
         histogram: UtilizationHistogram::from_loads(&core_loads),
+    };
+    (row, shard_summary)
+}
+
+/// Render the per-shard utilization report of a sharded run: how many
+/// devices and events each worker carried, how much of its delivery
+/// work crossed shard boundaries, and each shard's share of the total
+/// event load (1/N everywhere = a perfectly balanced partition).
+fn shard_table(k: usize, stats: &[ShardStats], lookahead: Option<SimDuration>) -> Table {
+    let total_events: u64 = stats.iter().map(|s| s.events).sum();
+    let la = lookahead.map_or("∞".to_string(), |l| l.to_string());
+    let mut t = Table::new(
+        format!(
+            "E8 per-shard utilization, k={k} fat-tree ({} shards, lookahead {la})",
+            stats.len()
+        ),
+        &["shard", "devices", "events", "event share", "delivered", "cross out", "cross in"],
+    );
+    for s in stats {
+        t.row(&[
+            s.shard.to_string(),
+            s.devices.to_string(),
+            s.events.to_string(),
+            format!("{:.0}%", s.events as f64 / total_events.max(1) as f64 * 100.0),
+            s.frames_delivered.to_string(),
+            s.cross_out.to_string(),
+            s.cross_in.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The merged, timestamp-sorted delivery trace of one pattern's run —
+/// the canonical byte-comparable artifact. A sharded run
+/// (`params.shards ≥ 2`) and a single-threaded run (`shards = 1`) of
+/// the same parameters must render **identical** lines; CI diffs
+/// exactly this (`repro -- e8 --quick --trace-out`).
+pub fn delivery_trace(params: &E8Params, pattern: TrafficPattern) -> Vec<String> {
+    let (t, ft, _pairs, deadline) = scenario(params, pattern);
+    if params.shards > 1 {
+        let mut fabric = match instantiate(params, t, &ft, true) {
+            Fabric::Sharded(s) => s,
+            Fabric::Single(_) => unreachable!("shards > 1 builds sharded"),
+        };
+        fabric.net.run_until(deadline);
+        fabric.net.delivery_trace()
+    } else {
+        let sink = Arc::new(Mutex::new(DeliveryTracer::new()));
+        let mut t = t;
+        t.set_tracer(Box::new(sink.clone()));
+        let mut built = t.build();
+        built.net.run_until(deadline);
+        let records = std::mem::take(&mut sink.lock().unwrap().records);
+        DeliveryTracer::render_sorted(records)
     }
 }
 
 /// Run both patterns on one fabric size.
 pub fn run(params: &E8Params) -> E8Result {
-    E8Result {
-        rows: vec![
-            run_pattern(params, TrafficPattern::Permutation, "permutation"),
-            run_pattern(
-                params,
-                TrafficPattern::Hotspot { hot_receivers: params.hot_receivers },
-                "hotspot",
-            ),
-        ],
-    }
+    let (permutation, shard_summary) =
+        run_pattern(params, TrafficPattern::Permutation, "permutation");
+    let (hotspot, _) = run_pattern(
+        params,
+        TrafficPattern::Hotspot { hot_receivers: params.hot_receivers },
+        "hotspot",
+    );
+    E8Result { rows: vec![permutation, hotspot], shard_summary }
 }
 
 /// Render the load-distribution summary over any number of runs (one

@@ -105,7 +105,12 @@ impl<'a> Ctx<'a> {
 /// A network-attached device. Implementations must be deterministic:
 /// identical callback sequences must produce identical command
 /// sequences (seed any internal randomness at construction).
-pub trait Device: Any {
+///
+/// `Send` is a supertrait because the sharded engine
+/// ([`crate::sharded`]) moves whole per-shard [`crate::Network`]s onto
+/// worker threads; devices are plain simulation state, so this costs
+/// implementations nothing (no `Rc`/`RefCell` inside devices).
+pub trait Device: Any + Send {
     /// Short stable name used in traces (e.g. `"NF1"`, `"hostA"`).
     fn name(&self) -> &str;
 

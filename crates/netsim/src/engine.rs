@@ -26,6 +26,74 @@
 //! egress lookup (device, port) → (link, direction) is a dense
 //! two-level table indexed by node id and port number, not a hash map,
 //! so the per-send cost is two array indexations.
+//!
+//! # Event lifecycle
+//!
+//! One frame crossing one link passes through the engine as:
+//!
+//! ```text
+//! device callback ──Command::Send──▶ handle_send
+//!       ▲                               │ (queue or start serializing)
+//!       │                               ▼
+//!   on_frame ◀── Deliver event ◀── TxDone event
+//!              (+propagation)      (+serialization)
+//! ```
+//!
+//! Every arrow is an event push at a computed future instant; nothing
+//! happens "between" events, which is what makes runs reproducible and
+//! what lets the sharded engine ([`crate::sharded`]) cut the graph at
+//! link boundaries: a link's delivery time is fully determined the
+//! moment its `TxDone` fires.
+//!
+//! # Example
+//!
+//! A one-shot sender and a recording sink on a gigabit link; the frame
+//! arrives exactly at serialization + propagation:
+//!
+//! ```
+//! use arppath_netsim::{Ctx, Device, LinkParams, NetworkBuilder, PortNo};
+//! use arppath_netsim::{SimDuration, SimTime};
+//! use arppath_wire::{ArpPacket, EthernetFrame, MacAddr};
+//!
+//! fn arp() -> EthernetFrame {
+//!     let src = MacAddr::from_index(1, 1);
+//!     let req = ArpPacket::request(src, "10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap());
+//!     EthernetFrame::arp_request(src, req)
+//! }
+//!
+//! /// Sends one ARP request the moment the simulation starts.
+//! struct Shot;
+//! impl Device for Shot {
+//!     fn name(&self) -> &str { "shot" }
+//!     fn on_start(&mut self, ctx: &mut Ctx) { ctx.send(PortNo(0), arp()); }
+//!     fn on_frame(&mut self, _: PortNo, _: EthernetFrame, _: &mut Ctx) {}
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! /// Records when every frame arrives.
+//! struct Sink { heard: Vec<SimTime> }
+//! impl Device for Sink {
+//!     fn name(&self) -> &str { "sink" }
+//!     fn on_frame(&mut self, _: PortNo, _: EthernetFrame, ctx: &mut Ctx) {
+//!         self.heard.push(ctx.now());
+//!     }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let mut b = NetworkBuilder::new();
+//! let tx = b.add(Box::new(Shot));
+//! let rx = b.add(Box::new(Sink { heard: vec![] }));
+//! b.link(tx, 0, rx, 0, LinkParams::gigabit(SimDuration::micros(1)));
+//! let mut net = b.build();
+//! net.run_until_idle(SimTime(u64::MAX));
+//!
+//! // A minimum-size ARP occupies 672 ns of line time at 1 Gbit/s,
+//! // then propagates for 1 µs: delivery at exactly t = 1672 ns.
+//! assert_eq!(net.device::<Sink>(rx).heard, vec![SimTime(1672)]);
+//! assert_eq!(net.stats().frames_delivered, 1);
+//! ```
 
 use crate::device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
 use crate::link::{Dir, Endpoint, Link, LinkId, LinkParams};
@@ -308,6 +376,20 @@ impl Network {
     /// (processed before any later event).
     pub fn inject(&mut self, node: NodeId, port: PortNo, frame: EthernetFrame) {
         self.push_at(self.now, EventKind::Inject { node, port, frame });
+    }
+
+    /// Deliver `frame` to `node`/`port` at the future instant `at`.
+    ///
+    /// This is the partition-aware ingress the sharded engine uses: a
+    /// frame that left another shard arrives here carrying the delivery
+    /// time its sender-side link computed. Also useful for harnesses
+    /// replaying a captured schedule.
+    ///
+    /// # Panics
+    /// If `at` is in the past — accepting it would reorder history.
+    pub fn inject_at(&mut self, at: SimTime, node: NodeId, port: PortNo, frame: EthernetFrame) {
+        assert!(at >= self.now, "inject_at({at}) is before the current instant {}", self.now);
+        self.push_at(at, EventKind::Inject { node, port, frame });
     }
 
     /// Run until the event queue is empty or `limit` is reached,
@@ -847,10 +929,10 @@ mod tests {
             let rx = b.add(Box::new(Probe::new("rx", true)));
             b.link(tx, 0, rx, 0, params);
             let mut net = b.build();
-            let sink = std::rc::Rc::new(std::cell::RefCell::new(CollectingTracer::default()));
+            let sink = std::sync::Arc::new(std::sync::Mutex::new(CollectingTracer::default()));
             net.set_tracer(Box::new(sink.clone()));
             net.run_until_idle(SimTime(u64::MAX));
-            let lines = sink.borrow().lines.clone();
+            let lines = sink.lock().unwrap().lines.clone();
             lines
         };
         assert_eq!(run(), run());
@@ -862,13 +944,13 @@ mod tests {
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 2 }));
         let rx = b.add(Box::new(Probe::new("rx", false)));
         b.link(tx, 0, rx, 0, LinkParams::default());
-        let sink = std::rc::Rc::new(std::cell::RefCell::new(CountingTracer::default()));
+        let sink = std::sync::Arc::new(std::sync::Mutex::new(CountingTracer::default()));
         // Installed pre-build so the Blaster's on_start sends are seen.
         b.set_tracer(Box::new(sink.clone()));
         let mut net = b.build();
         net.run_until_idle(SimTime(u64::MAX));
-        assert_eq!(sink.borrow().sent, 2);
-        assert_eq!(sink.borrow().delivered, 2);
+        assert_eq!(sink.lock().unwrap().sent, 2);
+        assert_eq!(sink.lock().unwrap().delivered, 2);
     }
 
     #[test]

@@ -48,11 +48,21 @@
 pub mod device;
 pub mod engine;
 pub mod link;
+pub mod sharded;
 pub mod time;
 pub mod trace;
 
 pub use device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
 pub use engine::{Network, NetworkBuilder, NetworkStats};
 pub use link::{Dir, DirStats, Endpoint, Link, LinkId, LinkParams};
+pub use sharded::{ShardStats, ShardedBuilder, ShardedNetwork};
 pub use time::{SimDuration, SimTime};
-pub use trace::{CollectingTracer, CountingTracer, PcapTracer, TeeTracer, TraceEvent, Tracer};
+pub use trace::{
+    CollectingTracer, CountingTracer, DeliveryRecord, DeliveryTracer, PcapTracer, TeeTracer,
+    TraceEvent, Tracer,
+};
+
+// Re-exported so the sharded module's doctests (and downstream crates
+// already depending on this crate for simulation types) can name the
+// frame type without adding a direct `arppath_wire` dependency.
+pub use arppath_wire::EthernetFrame;

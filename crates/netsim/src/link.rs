@@ -30,7 +30,10 @@ impl Dir {
         }
     }
 
-    pub(crate) fn index(self) -> usize {
+    /// Stable array index of the direction (`AtoB` = 0, `BtoA` = 1);
+    /// the sharded engine uses it as part of the deterministic ordering
+    /// key for frames crossing shard boundaries.
+    pub fn index(self) -> usize {
         match self {
             Dir::AtoB => 0,
             Dir::BtoA => 1,
@@ -68,6 +71,17 @@ impl LinkParams {
     /// A 1 Gbit/s link with the given propagation delay.
     pub fn gigabit(propagation: SimDuration) -> Self {
         LinkParams { propagation, ..Default::default() }
+    }
+
+    /// The same link with its propagation delay stripped. The sharded
+    /// engine models the sender-side *half* of a cross-shard link this
+    /// way: serialization and queueing are simulated in the sender's
+    /// shard (they only depend on sender-side state), while the
+    /// propagation term is added when the frame is re-injected into the
+    /// receiver's shard — and doubles as the conservative lookahead
+    /// that makes the partition safe.
+    pub fn without_propagation(self) -> Self {
+        LinkParams { propagation: SimDuration::ZERO, ..self }
     }
 
     /// Serialization time of `frame` on this link, including preamble,

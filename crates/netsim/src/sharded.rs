@@ -1,0 +1,1136 @@
+//! Sharded parallel simulation: the network partitioned across worker
+//! threads, synchronized by **conservative lookahead** on link delays.
+//!
+//! # Design
+//!
+//! The single-threaded [`crate::Network`] processes one global event
+//! heap. This module splits the device graph into `N` shards, each a
+//! complete `Network` of its own (own heap, own clock, own links), and
+//! runs them on scoped worker threads in lock-step *windows* — the
+//! Chandy–Misra–Bryant discipline specialized to fixed link delays:
+//!
+//! 1. Every link whose two endpoints land in different shards is cut
+//!    in half. The **sender-side half** keeps the link's bandwidth and
+//!    queue (serialization and queueing depend only on sender-side
+//!    state) but drops the propagation term
+//!    ([`LinkParams::without_propagation`]); it terminates in a
+//!    *boundary stub* device inside the sender's shard.
+//! 2. When a frame finishes serializing, the stub receives it at
+//!    exactly its `TxDone` instant, encodes it once, and forwards the
+//!    wire bytes over a bounded channel as a zero-copy [`Bytes`] view
+//!    together with its delivery time (`TxDone` + propagation). The
+//!    receiving shard re-parses with [`EthernetFrame::parse_bytes`] —
+//!    sharing the one allocation — and schedules it with
+//!    [`Network::inject_at`].
+//! 3. The **lookahead** `L` is the minimum propagation delay over all
+//!    cross-shard links. A shard whose earliest pending event sits at
+//!    `t` cannot deliver anything to a neighbour before `t + L` — and
+//!    a neighbour reacting to someone else's frame cannot emit before
+//!    the global minimum `W` plus `2L` (one hop in, one hop out).
+//!    Each shard therefore runs every event strictly before its
+//!    *horizon* `min(min_other, W + L) + L`, where `min_other` is the
+//!    earliest next event among the **other** shards — the
+//!    Chandy–Misra–Bryant safe-time fixed point with per-link
+//!    lookahead collapsed to the global minimum. Each round the
+//!    workers publish next-event times into a shared array, agree at a
+//!    barrier, run to their horizons, exchange boundary frames, and
+//!    repeat until the global minimum passes the run bound.
+//!
+//! # Determinism
+//!
+//! Within a shard events keep the engine's `(time, seq)` order.
+//! Incoming cross-shard frames are sorted by `(delivery time, global
+//! link id, direction, per-link sequence)` before injection, so the
+//! merged execution is a pure function of the scenario — thread
+//! scheduling never reorders anything. The observable contract, which
+//! `tests/sharded_equivalence.rs` pins, is **trace identity**: the
+//! merged, timestamp-sorted delivery trace ([`DeliveryTracer`]) of a
+//! sharded run is byte-for-byte identical to the single-threaded
+//! engine's on the same scenario.
+//!
+//! Two caveats bound the contract. Cross-shard link-admin events
+//! (cable cuts) are rejected — frames already handed to the channel
+//! cannot be recalled, so cut links must stay within one shard. And a
+//! cross-shard arrival that lands on a device at the *same nanosecond*
+//! as any other event there (a second arrival from another shard, a
+//! local delivery, a timer) is ordered by the canonical key above
+//! rather than by the sequential engine's insertion order, so such a
+//! coincidence can process in a different relative order. This only
+//! matters when the device's handler is order-sensitive at that exact
+//! instant; the scenarios the equivalence suite pins (the figure
+//! topologies and seeded jittered fabrics under ARP/UDP workloads)
+//! produce byte-identical traces — new workloads should be added to
+//! `tests/sharded_equivalence.rs` to prove they do too.
+//!
+//! # Example
+//!
+//! ```
+//! use arppath_netsim::{Ctx, Device, EthernetFrame, LinkParams, PortNo};
+//! use arppath_netsim::{ShardedBuilder, SimDuration, SimTime};
+//! use arppath_wire::{ArpPacket, MacAddr};
+//!
+//! /// Echoes every frame straight back out of its ingress port.
+//! struct Echo(String);
+//! impl Device for Echo {
+//!     fn name(&self) -> &str { &self.0 }
+//!     fn on_frame(&mut self, port: PortNo, frame: EthernetFrame, ctx: &mut Ctx) {
+//!         ctx.send(port, frame);
+//!     }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let mut b = ShardedBuilder::new(2);
+//! b.record_delivery_trace(true);
+//! let ping = b.add(Box::new(Echo("ping".into())));
+//! let pong = b.add(Box::new(Echo("pong".into())));
+//! b.link(ping, 0, pong, 0, LinkParams::gigabit(SimDuration::micros(5)));
+//!
+//! // One device per shard: the link is cut and 5 µs is the lookahead.
+//! let mut net = b.build(&[0, 1]);
+//! assert_eq!(net.lookahead(), Some(SimDuration::micros(5)));
+//!
+//! let arp = ArpPacket::request(
+//!     MacAddr::from_index(1, 1),
+//!     "10.0.0.1".parse().unwrap(),
+//!     "10.0.0.2".parse().unwrap(),
+//! );
+//! net.inject_at(SimTime::ZERO, ping, PortNo(0), EthernetFrame::arp_request(MacAddr::from_index(1, 1), arp));
+//! net.run_until(SimTime(SimDuration::micros(40).as_nanos()));
+//!
+//! // The echo ping-pongs across the shard boundary; every delivery
+//! // lands in the merged trace with its exact simulated timestamp.
+//! let trace = net.delivery_trace();
+//! assert!(trace.len() > 2);
+//! assert_eq!(net.stats().frames_delivered as usize, trace.len());
+//! ```
+
+use crate::device::{Ctx, Device, NodeId, PortNo};
+use crate::engine::{Network, NetworkBuilder, NetworkStats};
+use crate::link::{Dir, DirStats, Endpoint, LinkId, LinkParams};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{DeliveryRecord, DeliveryTracer};
+use arppath_wire::EthernetFrame;
+use bytes::Bytes;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// One window's worth of cross-shard frames for one destination.
+type BatchSender = SyncSender<Vec<RemoteMsg>>;
+/// Receiving end of a shard's frame-exchange channel.
+type BatchReceiver = Receiver<Vec<RemoteMsg>>;
+
+/// A frame in flight between shards: the wire bytes plus everything the
+/// destination needs to schedule and order it deterministically.
+struct RemoteMsg {
+    /// Delivery instant at the destination (sender-side `TxDone` +
+    /// the cut link's propagation delay).
+    time: SimTime,
+    /// Global id of the cut link — first component of the canonical
+    /// ordering key for simultaneous cross-shard arrivals.
+    link: usize,
+    /// Direction of travel across the cut link (key component).
+    dir: usize,
+    /// Per-(link, direction) sequence number (key component; frames on
+    /// one half-link arrive in emission order).
+    seq: u64,
+    /// Destination shard.
+    dst_shard: usize,
+    /// Destination device, as the *destination shard's* local node id.
+    node: NodeId,
+    /// Destination ingress port.
+    port: PortNo,
+    /// The frame's exact wire bytes; re-parsed zero-copy on arrival.
+    bytes: Bytes,
+}
+
+impl RemoteMsg {
+    fn order_key(&self) -> (SimTime, usize, usize, u64) {
+        (self.time, self.link, self.dir, self.seq)
+    }
+}
+
+/// The sender-side terminator of a cut link: receives frames at their
+/// `TxDone` instant (the half-link has zero propagation) and queues
+/// them for the cross-shard exchange.
+struct BoundaryStub {
+    name: String,
+    link: usize,
+    dir: Dir,
+    propagation: SimDuration,
+    dst_shard: usize,
+    dst_node: NodeId,
+    dst_port: PortNo,
+    seq: u64,
+    /// Frames forwarded across the boundary (for stats correction).
+    forwarded: u64,
+    /// Shared with the owning shard; drained after every window.
+    outbox: Arc<Mutex<Vec<RemoteMsg>>>,
+}
+
+impl Device for BoundaryStub {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_frame(&mut self, _port: PortNo, frame: EthernetFrame, ctx: &mut Ctx) {
+        let msg = RemoteMsg {
+            time: ctx.now() + self.propagation,
+            link: self.link,
+            dir: self.dir.index(),
+            seq: self.seq,
+            dst_shard: self.dst_shard,
+            node: self.dst_node,
+            port: self.dst_port,
+            bytes: Bytes::from(frame.to_bytes()),
+        };
+        self.seq += 1;
+        self.forwarded += 1;
+        self.outbox.lock().expect("outbox poisoned").push(msg);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Where a global link's transmit machinery lives.
+enum LinkHome {
+    /// Both endpoints in one shard: an ordinary link there.
+    Intra { shard: usize, local: LinkId },
+    /// Cut link: one sender-side half per direction.
+    Cross { a_half: (usize, LinkId), b_half: (usize, LinkId) },
+}
+
+/// One global link's bookkeeping.
+struct GlobalLink {
+    a: Endpoint,
+    b: Endpoint,
+    params: LinkParams,
+    home: LinkHome,
+}
+
+/// One shard: a complete [`Network`] plus its boundary machinery.
+struct Shard {
+    net: Network,
+    /// Local node ids of this shard's boundary stubs.
+    stubs: Vec<NodeId>,
+    /// Cross-shard frames produced by this shard's stubs this window.
+    outbox: Arc<Mutex<Vec<RemoteMsg>>>,
+    /// Delivery-trace handle, when recording was requested.
+    delivery: Option<Arc<Mutex<DeliveryTracer>>>,
+    /// Real (non-stub) devices in this shard.
+    devices: usize,
+    /// Cross-shard frames received over the whole run.
+    cross_in: u64,
+}
+
+/// Per-shard execution counters, for the per-shard utilization report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Real devices assigned to the shard.
+    pub devices: usize,
+    /// Events the shard's engine processed (includes boundary-stub
+    /// deliveries and injected cross-shard arrivals).
+    pub events: u64,
+    /// Frames delivered to the shard's real devices.
+    pub frames_delivered: u64,
+    /// Frames this shard sent to other shards.
+    pub cross_out: u64,
+    /// Frames this shard received from other shards.
+    pub cross_in: u64,
+}
+
+/// Assembles a [`ShardedNetwork`]: add devices and links exactly like
+/// [`NetworkBuilder`], then [`ShardedBuilder::build`] with a shard
+/// assignment. Global [`NodeId`]s/[`LinkId`]s are handed out in the
+/// same insertion order as the single-threaded builder, so a scenario
+/// built both ways gets identical ids — which is what makes the two
+/// engines' traces directly comparable.
+pub struct ShardedBuilder {
+    shards: usize,
+    devices: Vec<Box<dyn Device>>,
+    links: Vec<(Endpoint, Endpoint, LinkParams)>,
+    record_deliveries: bool,
+}
+
+impl ShardedBuilder {
+    /// An empty builder targeting `shards` worker threads.
+    ///
+    /// # Panics
+    /// If `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded network needs at least one shard");
+        ShardedBuilder { shards, devices: Vec::new(), links: Vec::new(), record_deliveries: false }
+    }
+
+    /// Attach a device; global ids are handed out in insertion order.
+    pub fn add(&mut self, device: Box<dyn Device>) -> NodeId {
+        let id = NodeId(self.devices.len());
+        self.devices.push(device);
+        id
+    }
+
+    /// Cable `(a, a_port)` to `(b, b_port)` with `params`.
+    ///
+    /// # Panics
+    /// On out-of-range nodes or a port cabled to itself (builder
+    /// misuse; double-cabling is caught at build time by the per-shard
+    /// builders).
+    pub fn link(
+        &mut self,
+        a: NodeId,
+        a_port: usize,
+        b: NodeId,
+        b_port: usize,
+        params: LinkParams,
+    ) -> LinkId {
+        assert!(a.0 < self.devices.len(), "link endpoint {a:?} does not exist");
+        assert!(b.0 < self.devices.len(), "link endpoint {b:?} does not exist");
+        assert!(
+            !(a == b && a_port == b_port),
+            "cannot cable a port to itself ({a:?} port {a_port})"
+        );
+        let id = LinkId(self.links.len());
+        let ea = Endpoint { node: a, port: PortNo(a_port) };
+        let eb = Endpoint { node: b, port: PortNo(b_port) };
+        self.links.push((ea, eb, params));
+        id
+    }
+
+    /// Record every frame delivery into per-shard [`DeliveryTracer`]s
+    /// so [`ShardedNetwork::delivery_trace`] can produce the merged
+    /// canonical trace. Off by default — recording costs one frame
+    /// encode per delivery, which a pure performance run should not
+    /// pay.
+    pub fn record_delivery_trace(&mut self, on: bool) {
+        self.record_deliveries = on;
+    }
+
+    /// Partition, wire the boundary machinery, and start every shard's
+    /// devices (`on_start` runs at t=0, shard by shard in global id
+    /// order within each shard).
+    ///
+    /// `assignment[node] = shard` for every global node id.
+    ///
+    /// # Panics
+    /// If the assignment's length or shard indices are out of range, or
+    /// if a cross-shard link has zero propagation delay — conservative
+    /// lookahead needs every cut to cost time, otherwise no window is
+    /// safe to run.
+    pub fn build(self, assignment: &[usize]) -> ShardedNetwork {
+        let n = self.devices.len();
+        let shards = self.shards;
+        assert_eq!(assignment.len(), n, "assignment must cover every device exactly once");
+        for (node, &s) in assignment.iter().enumerate() {
+            assert!(s < shards, "node {node} assigned to shard {s}, but only {shards} exist");
+        }
+
+        // Global→local id translation, in global insertion order.
+        let mut counts = vec![0usize; shards];
+        let mut local_id = Vec::with_capacity(n);
+        for &s in assignment {
+            local_id.push(NodeId(counts[s]));
+            counts[s] += 1;
+        }
+
+        // Conservative lookahead: the cheapest cut link bounds how far
+        // any shard may run ahead of the others.
+        let mut lookahead: Option<SimDuration> = None;
+        for &(ea, eb, params) in &self.links {
+            if assignment[ea.node.0] != assignment[eb.node.0] {
+                assert!(
+                    params.propagation > SimDuration::ZERO,
+                    "cross-shard link {:?}—{:?} has zero propagation delay: conservative \
+                     lookahead requires every cut link to cost time (repartition or add delay)",
+                    ea.node,
+                    eb.node
+                );
+                lookahead =
+                    Some(lookahead.map_or(params.propagation, |l| l.min(params.propagation)));
+            }
+        }
+
+        let mut builders: Vec<NetworkBuilder> =
+            (0..shards).map(|_| NetworkBuilder::new()).collect();
+        let mut local2global: Vec<Vec<Option<NodeId>>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (g, dev) in self.devices.into_iter().enumerate() {
+            let s = assignment[g];
+            let lid = builders[s].add(dev);
+            debug_assert_eq!(lid, local_id[g]);
+            local2global[s].push(Some(NodeId(g)));
+        }
+        let device_counts = counts;
+
+        let outboxes: Vec<Arc<Mutex<Vec<RemoteMsg>>>> =
+            (0..shards).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let mut stubs: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+        let mut links = Vec::with_capacity(self.links.len());
+        for (gid, &(ea, eb, params)) in self.links.iter().enumerate() {
+            let (sa, sb) = (assignment[ea.node.0], assignment[eb.node.0]);
+            let home = if sa == sb {
+                let local = builders[sa].link(
+                    local_id[ea.node.0],
+                    ea.port.0,
+                    local_id[eb.node.0],
+                    eb.port.0,
+                    params,
+                );
+                LinkHome::Intra { shard: sa, local }
+            } else {
+                let mut half = |src: Endpoint, dst: Endpoint, dir: Dir| {
+                    let (ss, ds) = match dir {
+                        Dir::AtoB => (sa, sb),
+                        Dir::BtoA => (sb, sa),
+                    };
+                    let stub = builders[ss].add(Box::new(BoundaryStub {
+                        name: format!("gw-l{gid}-{}", dir.index()),
+                        link: gid,
+                        dir,
+                        propagation: params.propagation,
+                        dst_shard: ds,
+                        dst_node: local_id[dst.node.0],
+                        dst_port: dst.port,
+                        seq: 0,
+                        forwarded: 0,
+                        outbox: Arc::clone(&outboxes[ss]),
+                    }));
+                    local2global[ss].push(None);
+                    stubs[ss].push(stub);
+                    let local = builders[ss].link(
+                        local_id[src.node.0],
+                        src.port.0,
+                        stub,
+                        0,
+                        params.without_propagation(),
+                    );
+                    (ss, local)
+                };
+                let a_half = half(ea, eb, Dir::AtoB);
+                let b_half = half(eb, ea, Dir::BtoA);
+                LinkHome::Cross { a_half, b_half }
+            };
+            links.push(GlobalLink { a: ea, b: eb, params, home });
+        }
+
+        let mut delivery_handles: Vec<Option<Arc<Mutex<DeliveryTracer>>>> = Vec::new();
+        for (s, builder) in builders.iter_mut().enumerate() {
+            if self.record_deliveries {
+                let tracer =
+                    Arc::new(Mutex::new(DeliveryTracer::with_remap(local2global[s].clone())));
+                builder.set_tracer(Box::new(Arc::clone(&tracer)));
+                delivery_handles.push(Some(tracer));
+            } else {
+                delivery_handles.push(None);
+            }
+        }
+
+        let shard_nets: Vec<Shard> = builders
+            .into_iter()
+            .zip(stubs)
+            .zip(outboxes)
+            .zip(delivery_handles)
+            .zip(device_counts)
+            .map(|((((builder, stubs), outbox), delivery), devices)| Shard {
+                net: builder.build(),
+                stubs,
+                outbox,
+                delivery,
+                devices,
+                cross_in: 0,
+            })
+            .collect();
+
+        ShardedNetwork {
+            shards: shard_nets,
+            assignment: assignment.to_vec(),
+            local_id,
+            links,
+            lookahead,
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+/// Shared per-run synchronization state for the worker threads.
+struct WindowSync {
+    /// Two waits per round: after publishing next-event times, and
+    /// after exchanging boundary frames.
+    barrier: Barrier,
+    /// Per-shard next pending event time (`u64::MAX` = idle), valid
+    /// between the two barrier waits of a round.
+    slots: Vec<AtomicU64>,
+    /// Set when a worker panicked; everyone else unwinds at the next
+    /// barrier instead of deadlocking on the missing participant.
+    poisoned: AtomicBool,
+    /// Window length in nanoseconds (`u64::MAX` when no link is cut).
+    lookahead: u64,
+    /// Run bound (inclusive): no event past it is executed.
+    bound: SimTime,
+}
+
+/// A partitioned network running its shards on worker threads.
+///
+/// Construction and all accessors happen on the caller's thread; only
+/// the run loops ([`ShardedNetwork::run_until`] /
+/// [`ShardedNetwork::run_until_idle`]) spawn workers, and they join
+/// before returning — the type is externally single-threaded.
+pub struct ShardedNetwork {
+    shards: Vec<Shard>,
+    /// Global node id → shard.
+    assignment: Vec<usize>,
+    /// Global node id → shard-local node id.
+    local_id: Vec<NodeId>,
+    /// Global link table, in builder insertion order.
+    links: Vec<GlobalLink>,
+    /// Minimum cross-shard propagation delay (`None`: nothing is cut).
+    lookahead: Option<SimDuration>,
+    now: SimTime,
+}
+
+impl ShardedNetwork {
+    /// The current instant (advanced by the run loops).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of real devices (boundary stubs excluded).
+    pub fn node_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of global links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The conservative lookahead: the minimum propagation delay over
+    /// cross-shard links, or `None` when the partition cuts nothing.
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+
+    /// Which shard `node` lives in.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.assignment[node.0]
+    }
+
+    /// Typed access to a device by its global id.
+    ///
+    /// # Panics
+    /// If `node` does not hold a `T`.
+    pub fn device<T: 'static>(&self, node: NodeId) -> &T {
+        self.shards[self.assignment[node.0]].net.device::<T>(self.local_id[node.0])
+    }
+
+    /// Typed mutable access to a device by its global id.
+    ///
+    /// # Panics
+    /// If `node` does not hold a `T`.
+    pub fn device_mut<T: 'static>(&mut self, node: NodeId) -> &mut T {
+        self.shards[self.assignment[node.0]].net.device_mut::<T>(self.local_id[node.0])
+    }
+
+    /// A global link's endpoints (global node ids).
+    pub fn link_endpoints(&self, id: LinkId) -> (Endpoint, Endpoint) {
+        let l = &self.links[id.0];
+        (l.a, l.b)
+    }
+
+    /// A global link's physical parameters.
+    pub fn link_params(&self, id: LinkId) -> LinkParams {
+        self.links[id.0].params
+    }
+
+    /// Transmit counters for one direction of a global link, wherever
+    /// its machinery lives (for a cut link, on the sender-side half).
+    pub fn link_stats(&self, id: LinkId, dir: Dir) -> DirStats {
+        match self.links[id.0].home {
+            LinkHome::Intra { shard, local } => self.shards[shard].net.link(local).stats(dir),
+            LinkHome::Cross { a_half, b_half } => {
+                // Each half-link's A endpoint is the real device, so its
+                // transmit direction is always local `AtoB`.
+                let (shard, local) = match dir {
+                    Dir::AtoB => a_half,
+                    Dir::BtoA => b_half,
+                };
+                self.shards[shard].net.link(local).stats(Dir::AtoB)
+            }
+        }
+    }
+
+    /// Schedule a cable cut at `at`.
+    ///
+    /// # Panics
+    /// On cross-shard links: a frame already handed to the exchange
+    /// channel cannot be recalled, so admin events are restricted to
+    /// intra-shard links (put flapping links inside one shard).
+    pub fn schedule_link_down(&mut self, link: LinkId, at: SimTime) {
+        self.admin(link, at, false);
+    }
+
+    /// Schedule a cable re-plug at `at`.
+    ///
+    /// # Panics
+    /// On cross-shard links (see [`ShardedNetwork::schedule_link_down`]).
+    pub fn schedule_link_up(&mut self, link: LinkId, at: SimTime) {
+        self.admin(link, at, true);
+    }
+
+    fn admin(&mut self, link: LinkId, at: SimTime, up: bool) {
+        match self.links[link.0].home {
+            LinkHome::Intra { shard, local } => {
+                if up {
+                    self.shards[shard].net.schedule_link_up(local, at);
+                } else {
+                    self.shards[shard].net.schedule_link_down(local, at);
+                }
+            }
+            LinkHome::Cross { .. } => panic!(
+                "link {link:?} crosses a shard boundary: cross-shard link admin is not \
+                 supported (assign both endpoints of flapping links to one shard)"
+            ),
+        }
+    }
+
+    /// Deliver `frame` to `node`/`port` at `at` (global-id variant of
+    /// [`Network::inject_at`]).
+    pub fn inject_at(&mut self, at: SimTime, node: NodeId, port: PortNo, frame: EthernetFrame) {
+        let shard = self.assignment[node.0];
+        let local = self.local_id[node.0];
+        self.shards[shard].net.inject_at(at, local, port, frame);
+    }
+
+    /// Run every event up to and including `until`, then set the clock
+    /// to `until`. Equivalent to [`Network::run_until`], executed in
+    /// parallel lookahead windows.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.run_windows(until);
+        for shard in &mut self.shards {
+            shard.net.run_until(until);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Run until every shard's queue is empty or `limit` is reached,
+    /// whichever is first. Returns `true` if everything drained.
+    pub fn run_until_idle(&mut self, limit: SimTime) -> bool {
+        self.run_windows(limit);
+        let drained = self.shards.iter().all(|s| s.net.next_event_time().is_none());
+        if drained {
+            let last = self.shards.iter().map(|s| s.net.now()).max().unwrap_or(self.now);
+            self.now = self.now.max(last);
+        } else {
+            for shard in &mut self.shards {
+                shard.net.run_until(limit);
+            }
+            self.now = self.now.max(limit);
+        }
+        drained
+    }
+
+    /// Aggregated engine counters, corrected for the boundary
+    /// machinery: a frame crossing a cut link is delivered once to its
+    /// boundary stub and once (as an injected event) to its real
+    /// destination, so one delivery and one event per cross-shard
+    /// frame are subtracted to match the single-threaded accounting.
+    pub fn stats(&self) -> NetworkStats {
+        let mut total = NetworkStats::default();
+        for shard in &self.shards {
+            let s = shard.net.stats();
+            total.frames_sent += s.frames_sent;
+            total.frames_delivered += s.frames_delivered;
+            total.drops_queue_full += s.drops_queue_full;
+            total.drops_link_down += s.drops_link_down;
+            total.drops_no_cable += s.drops_no_cable;
+            total.events += s.events;
+        }
+        let cross = self.cross_frames();
+        total.frames_delivered -= cross;
+        total.events -= cross;
+        total
+    }
+
+    /// Total frames that crossed a shard boundary.
+    pub fn cross_frames(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|sh| {
+                sh.stubs.iter().map(|&n| sh.net.device::<BoundaryStub>(n).forwarded).sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Per-shard execution counters — the raw material of the
+    /// per-shard utilization report (`repro -- e8 --shards N`).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| {
+                let cross_out: u64 =
+                    sh.stubs.iter().map(|&n| sh.net.device::<BoundaryStub>(n).forwarded).sum();
+                let s = sh.net.stats();
+                ShardStats {
+                    shard: i,
+                    devices: sh.devices,
+                    events: s.events,
+                    frames_delivered: s.frames_delivered - cross_out,
+                    cross_out,
+                    cross_in: sh.cross_in,
+                }
+            })
+            .collect()
+    }
+
+    /// The merged, timestamp-sorted delivery trace: one canonical line
+    /// per frame delivery across all shards, in `(time, node, port,
+    /// length, digest)` order — byte-for-byte comparable with a
+    /// single-threaded [`DeliveryTracer`]'s rendering of the same
+    /// scenario. Empty unless
+    /// [`ShardedBuilder::record_delivery_trace`] was enabled.
+    pub fn delivery_trace(&self) -> Vec<String> {
+        let mut records: Vec<DeliveryRecord> = Vec::new();
+        for shard in &self.shards {
+            if let Some(handle) = &shard.delivery {
+                records.extend(handle.lock().expect("delivery tracer poisoned").records.iter());
+            }
+        }
+        DeliveryTracer::render_sorted(records)
+    }
+
+    /// Drive all shards through lookahead windows until nothing at or
+    /// before `bound` remains anywhere.
+    fn run_windows(&mut self, bound: SimTime) {
+        if self.shards.len() == 1 {
+            let net = &mut self.shards[0].net;
+            while net.step_batch(bound) {}
+            return;
+        }
+        let nshards = self.shards.len();
+        let sync = WindowSync {
+            barrier: Barrier::new(nshards),
+            slots: (0..nshards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            poisoned: AtomicBool::new(false),
+            lookahead: self.lookahead.map_or(u64::MAX, |l| l.as_nanos()),
+            bound,
+        };
+        // Bounded frame-exchange channels, one per destination shard.
+        // Capacity 2·N can never block: a sender enqueues at most one
+        // batch per destination per round and every receiver drains its
+        // channel at the start of the next round.
+        let (txs, rxs): (Vec<BatchSender>, Vec<BatchReceiver>) =
+            (0..nshards).map(|_| sync_channel(2 * nshards)).unzip();
+        std::thread::scope(|scope| {
+            for ((i, shard), rx) in self.shards.iter_mut().enumerate().zip(rxs) {
+                let txs = txs.clone();
+                let sync = &sync;
+                scope.spawn(move || shard_worker(i, shard, rx, txs, sync));
+            }
+        });
+    }
+}
+
+/// One worker thread's life: rounds of (drain inbox → agree on a
+/// window → execute it → exchange boundary frames) until the global
+/// next event passes the bound. Panics from device code poison the
+/// sync state so sibling workers exit instead of deadlocking, then
+/// propagate.
+fn shard_worker(
+    i: usize,
+    shard: &mut Shard,
+    rx: BatchReceiver,
+    txs: Vec<BatchSender>,
+    sync: &WindowSync,
+) {
+    let result = catch_unwind(AssertUnwindSafe(|| worker_rounds(i, shard, &rx, &txs, sync)));
+    if let Err(panic) = result {
+        sync.poisoned.store(true, Ordering::SeqCst);
+        sync.barrier.wait();
+        resume_unwind(panic);
+    }
+}
+
+fn worker_rounds(
+    i: usize,
+    shard: &mut Shard,
+    rx: &BatchReceiver,
+    txs: &[BatchSender],
+    sync: &WindowSync,
+) {
+    loop {
+        // Phase 1: ingest everything other shards sent last round, in
+        // the canonical deterministic order.
+        let mut inbox: Vec<RemoteMsg> = rx.try_iter().flatten().collect();
+        inbox.sort_unstable_by_key(RemoteMsg::order_key);
+        shard.cross_in += inbox.len() as u64;
+        for msg in inbox {
+            let frame = EthernetFrame::parse_bytes(&msg.bytes)
+                .expect("cross-shard frame bytes must re-parse");
+            shard.net.inject_at(msg.time, msg.node, msg.port, frame);
+        }
+
+        // Phase 2: agree on the window. The barrier orders the stores
+        // before every load, so Relaxed suffices.
+        let next = shard.net.next_event_time().map_or(u64::MAX, |t| t.0);
+        sync.slots[i].store(next, Ordering::Relaxed);
+        sync.barrier.wait();
+        if sync.poisoned.load(Ordering::SeqCst) {
+            return;
+        }
+        let w_start =
+            sync.slots.iter().map(|s| s.load(Ordering::Relaxed)).min().expect("no shards");
+        if w_start == u64::MAX || w_start > sync.bound.0 {
+            // Identical inputs at every worker: all exit this round.
+            return;
+        }
+
+        // Phase 3: execute up to this shard's *horizon* — the earliest
+        // instant anything can still arrive from outside. A neighbour
+        // T cannot emit before it executes an event, and its earliest
+        // executable event is either its own next one or a reaction to
+        // the global-minimum shard's first message (which lands no
+        // sooner than w_start + L). Emission adds another lookahead:
+        //
+        //   horizon = min(min_other, w_start + L) + L
+        //
+        // This is the CMB safe-time fixed point collapsed to the
+        // global lookahead: the shard holding the global minimum gets
+        // to run [w_start, w_start + 2L) while everyone else is
+        // bounded by w_start + L — own events never bound a shard, but
+        // a neighbour bouncing our own frame straight back does.
+        let min_other = sync
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, s)| s.load(Ordering::Relaxed))
+            .min()
+            .expect("at least two shards in the window protocol");
+        let horizon =
+            min_other.min(w_start.saturating_add(sync.lookahead)).saturating_add(sync.lookahead);
+        let run_bound = SimTime((horizon - 1).min(sync.bound.0));
+        while shard.net.step_batch(run_bound) {}
+
+        // Phase 4: hand this window's boundary frames to their shards.
+        let outgoing = std::mem::take(&mut *shard.outbox.lock().expect("outbox poisoned"));
+        if !outgoing.is_empty() {
+            let mut batches: Vec<Vec<RemoteMsg>> = (0..txs.len()).map(|_| Vec::new()).collect();
+            for msg in outgoing {
+                debug_assert!(
+                    msg.time.0 >= next.saturating_add(sync.lookahead),
+                    "boundary frame at t={} violates the lookahead promise {} + {}",
+                    msg.time.0,
+                    next,
+                    sync.lookahead
+                );
+                batches[msg.dst_shard].push(msg);
+            }
+            for (dst, batch) in batches.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    txs[dst].send(batch).expect("shard exchange channel closed");
+                }
+            }
+        }
+        sync.barrier.wait();
+        if sync.poisoned.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::TimerToken;
+    use crate::engine::NetworkBuilder;
+    use arppath_wire::{ArpPacket, MacAddr};
+    use std::net::Ipv4Addr;
+
+    fn test_frame() -> EthernetFrame {
+        EthernetFrame::arp_request(
+            MacAddr::from_index(1, 1),
+            ArpPacket::request(
+                MacAddr::from_index(1, 1),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+            ),
+        )
+    }
+
+    /// Records (time, port) of everything it hears; optionally echoes.
+    struct Probe {
+        name: String,
+        echo_first: usize,
+        heard: Vec<(SimTime, PortNo)>,
+    }
+
+    impl Probe {
+        fn new(name: &str, echo_first: usize) -> Self {
+            Probe { name: name.into(), echo_first, heard: Vec::new() }
+        }
+    }
+
+    impl Device for Probe {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn on_frame(&mut self, port: PortNo, frame: EthernetFrame, ctx: &mut Ctx) {
+            self.heard.push((ctx.now(), port));
+            if self.heard.len() <= self.echo_first {
+                ctx.send(port, frame);
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// A device that sends one frame at start.
+    struct Shot {
+        name: String,
+    }
+
+    impl Device for Shot {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.send(PortNo(0), test_frame());
+        }
+        fn on_frame(&mut self, _: PortNo, _: EthernetFrame, _: &mut Ctx) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cross_shard_delivery_time_is_exact() {
+        // Single-threaded reference: 672 ns serialization + 3 µs
+        // propagation = 3672 ns.
+        let params = LinkParams::gigabit(SimDuration::micros(3));
+        let mut b = ShardedBuilder::new(2);
+        let tx = b.add(Box::new(Shot { name: "tx".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", 0)));
+        b.link(tx, 0, rx, 0, params);
+        let mut net = b.build(&[0, 1]);
+        assert_eq!(net.lookahead(), Some(SimDuration::micros(3)));
+        assert!(net.run_until_idle(SimTime(u64::MAX)));
+        assert_eq!(net.device::<Probe>(rx).heard, vec![(SimTime(3672), PortNo(0))]);
+        let stats = net.stats();
+        assert_eq!(stats.frames_sent, 1);
+        assert_eq!(stats.frames_delivered, 1);
+        assert_eq!(net.cross_frames(), 1);
+    }
+
+    #[test]
+    fn sharded_matches_single_threaded_engine_counters() {
+        // A three-node relay chain across three shards: tx → mid → rx,
+        // with mid echoing the first 2 frames it hears back and forth.
+        let build_single = || {
+            let mut b = NetworkBuilder::new();
+            let tx = b.add(Box::new(Shot { name: "tx".into() }));
+            let mid = b.add(Box::new(Probe::new("mid", 2)));
+            let rx = b.add(Box::new(Probe::new("rx", 1)));
+            b.link(tx, 0, mid, 0, LinkParams::gigabit(SimDuration::micros(2)));
+            b.link(mid, 1, rx, 0, LinkParams::gigabit(SimDuration::micros(5)));
+            let mut net = b.build();
+            net.run_until_idle(SimTime(u64::MAX));
+            (net.stats(), net.device::<Probe>(rx).heard.clone())
+        };
+        let build_sharded = |assignment: &[usize], shards: usize| {
+            let mut b = ShardedBuilder::new(shards);
+            let tx = b.add(Box::new(Shot { name: "tx".into() }));
+            let mid = b.add(Box::new(Probe::new("mid", 2)));
+            let rx = b.add(Box::new(Probe::new("rx", 1)));
+            b.link(tx, 0, mid, 0, LinkParams::gigabit(SimDuration::micros(2)));
+            b.link(mid, 1, rx, 0, LinkParams::gigabit(SimDuration::micros(5)));
+            let mut net = b.build(assignment);
+            net.run_until_idle(SimTime(u64::MAX));
+            (net.stats(), net.device::<Probe>(rx).heard.clone())
+        };
+        let (ref_stats, ref_heard) = build_single();
+        for (assignment, shards) in
+            [(&[0usize, 1, 2][..], 3), (&[0, 0, 1][..], 2), (&[0, 1, 1][..], 2)]
+        {
+            let (stats, heard) = build_sharded(assignment, shards);
+            assert_eq!(stats, ref_stats, "assignment {assignment:?}");
+            assert_eq!(heard, ref_heard, "assignment {assignment:?}");
+        }
+    }
+
+    #[test]
+    fn intra_shard_links_support_admin_events() {
+        let mut b = ShardedBuilder::new(2);
+        let tx = b.add(Box::new(Shot { name: "tx".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", 0)));
+        let lonely = b.add(Box::new(Probe::new("x", 0)));
+        let l = b.link(tx, 0, rx, 0, LinkParams::default());
+        let _ = lonely;
+        let mut net = b.build(&[0, 0, 1]);
+        net.schedule_link_down(l, SimTime(0));
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.device::<Probe>(rx).heard.len(), 0, "frame lost to the cut");
+        assert_eq!(net.stats().drops_link_down, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-shard link admin is not supported")]
+    fn cross_shard_link_admin_panics() {
+        let mut b = ShardedBuilder::new(2);
+        let tx = b.add(Box::new(Shot { name: "tx".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", 0)));
+        let l = b.link(tx, 0, rx, 0, LinkParams::default());
+        let mut net = b.build(&[0, 1]);
+        net.schedule_link_down(l, SimTime(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero propagation delay")]
+    fn zero_delay_cut_link_is_rejected() {
+        let mut b = ShardedBuilder::new(2);
+        let tx = b.add(Box::new(Shot { name: "tx".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", 0)));
+        b.link(
+            tx,
+            0,
+            rx,
+            0,
+            LinkParams { propagation: SimDuration::ZERO, ..LinkParams::default() },
+        );
+        let _ = b.build(&[0, 1]);
+    }
+
+    #[test]
+    fn timers_and_queueing_survive_the_boundary() {
+        // A burster: three back-to-back frames queue behind each other
+        // on the half-link exactly as they would on the full link.
+        struct Burst {
+            name: String,
+        }
+        impl Device for Burst {
+            fn name(&self) -> &str {
+                &self.name
+            }
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.schedule(SimDuration::micros(1), TimerToken(1));
+            }
+            fn on_timer(&mut self, _: TimerToken, ctx: &mut Ctx) {
+                for _ in 0..3 {
+                    ctx.send(PortNo(0), test_frame());
+                }
+            }
+            fn on_frame(&mut self, _: PortNo, _: EthernetFrame, _: &mut Ctx) {}
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut b = ShardedBuilder::new(2);
+        let tx = b.add(Box::new(Burst { name: "tx".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", 0)));
+        b.link(tx, 0, rx, 0, LinkParams::gigabit(SimDuration::micros(2)));
+        let mut net = b.build(&[0, 1]);
+        net.run_until_idle(SimTime(u64::MAX));
+        let times: Vec<u64> =
+            net.device::<Probe>(rx).heard.iter().map(|(t, _)| t.as_nanos()).collect();
+        // Timer at 1000 ns; serialization 672 ns each, back to back;
+        // +2000 ns propagation.
+        assert_eq!(times, vec![1000 + 672 + 2000, 1000 + 1344 + 2000, 1000 + 2016 + 2000]);
+    }
+
+    #[test]
+    fn delivery_trace_merges_and_sorts() {
+        let mut b = ShardedBuilder::new(2);
+        b.record_delivery_trace(true);
+        let tx = b.add(Box::new(Shot { name: "tx".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", 3)));
+        b.link(tx, 0, rx, 0, LinkParams::gigabit(SimDuration::micros(1)));
+        let mut net = b.build(&[0, 1]);
+        net.run_until_idle(SimTime(u64::MAX));
+        let trace = net.delivery_trace();
+        // tx's shot reaches rx; rx echoes it back (tx hears it); no
+        // further echo (tx does not forward).
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].contains(" n1 "), "first delivery is at rx: {}", trace[0]);
+        assert!(trace[1].contains(" n0 "), "second delivery is at tx: {}", trace[1]);
+        let sorted = {
+            let mut t = trace.clone();
+            t.sort();
+            t
+        };
+        // Timestamps are zero-padded free: numeric order == lexicographic
+        // here because both lines share digit counts; the contract that
+        // matters is stability across runs.
+        assert_eq!(trace.len(), sorted.len());
+    }
+
+    #[test]
+    fn run_until_respects_the_bound() {
+        let mut b = ShardedBuilder::new(2);
+        let tx = b.add(Box::new(Shot { name: "tx".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", 0)));
+        b.link(tx, 0, rx, 0, LinkParams::gigabit(SimDuration::micros(10)));
+        let mut net = b.build(&[0, 1]);
+        // Delivery would land at 10672 ns; stop the clock before it.
+        net.run_until(SimTime(5_000));
+        assert_eq!(net.now(), SimTime(5_000));
+        assert_eq!(net.device::<Probe>(rx).heard.len(), 0);
+        // Resuming picks the frame back up.
+        net.run_until(SimTime(20_000));
+        assert_eq!(net.device::<Probe>(rx).heard, vec![(SimTime(10_672), PortNo(0))]);
+        assert_eq!(net.now(), SimTime(20_000));
+    }
+
+    #[test]
+    fn single_shard_build_needs_no_threads() {
+        let mut b = ShardedBuilder::new(1);
+        let tx = b.add(Box::new(Shot { name: "tx".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", 0)));
+        b.link(tx, 0, rx, 0, LinkParams::default());
+        let mut net = b.build(&[0, 0]);
+        assert_eq!(net.lookahead(), None);
+        assert!(net.run_until_idle(SimTime(u64::MAX)));
+        assert_eq!(net.stats().frames_delivered, 1);
+        assert!(net.shard_stats()[0].cross_out == 0);
+    }
+
+    #[test]
+    fn shard_stats_account_for_boundary_traffic() {
+        let mut b = ShardedBuilder::new(2);
+        let tx = b.add(Box::new(Shot { name: "tx".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", 1)));
+        b.link(tx, 0, rx, 0, LinkParams::gigabit(SimDuration::micros(1)));
+        let mut net = b.build(&[0, 1]);
+        net.run_until_idle(SimTime(u64::MAX));
+        let stats = net.shard_stats();
+        assert_eq!(stats.len(), 2);
+        // Shot crosses 0→1, echo crosses 1→0.
+        assert_eq!((stats[0].cross_out, stats[0].cross_in), (1, 1));
+        assert_eq!((stats[1].cross_out, stats[1].cross_in), (1, 1));
+        assert_eq!(stats[0].devices, 1);
+        assert_eq!(stats[1].devices, 1);
+    }
+}

@@ -71,7 +71,11 @@ pub enum TraceEvent<'a> {
 /// A sink for trace records. The engine calls this for every observable
 /// event when a tracer is installed; with none installed tracing costs
 /// nothing.
-pub trait Tracer {
+///
+/// `Send` is a supertrait so a traced [`crate::Network`] can move onto
+/// a sharded worker thread; keep shared handles as `Arc<Mutex<T>>`
+/// (see the blanket impl below), not `Rc<RefCell<T>>`.
+pub trait Tracer: Send {
     /// Record one event at `now`.
     fn record(&mut self, now: SimTime, event: TraceEvent<'_>);
 }
@@ -174,7 +178,7 @@ impl<W: Write> PcapTracer<W> {
     }
 }
 
-impl<W: Write> Tracer for PcapTracer<W> {
+impl<W: Write + Send> Tracer for PcapTracer<W> {
     fn record(&mut self, now: SimTime, event: TraceEvent<'_>) {
         if let TraceEvent::Delivered { node, frame, .. } = event {
             if self.only_node.is_none_or(|n| n == node) {
@@ -186,11 +190,120 @@ impl<W: Write> Tracer for PcapTracer<W> {
     }
 }
 
-/// Shared-handle tracing: install `Rc<RefCell<T>>` as the network's
+/// Shared-handle tracing: install `Arc<Mutex<T>>` as the network's
 /// tracer while keeping a clone outside to read results after the run.
-impl<T: Tracer> Tracer for std::rc::Rc<std::cell::RefCell<T>> {
+/// (`Arc<Mutex<_>>` rather than `Rc<RefCell<_>>` because tracers must
+/// be `Send` — a traced network can run on a sharded worker thread.
+/// The lock is uncontended in a single-threaded run, so the cost is a
+/// few nanoseconds per event.)
+impl<T: Tracer> Tracer for std::sync::Arc<std::sync::Mutex<T>> {
     fn record(&mut self, now: SimTime, event: TraceEvent<'_>) {
-        self.borrow_mut().record(now, event);
+        self.lock().expect("tracer mutex poisoned").record(now, event);
+    }
+}
+
+/// One frame delivery, reduced to the canonical comparable form used by
+/// the sharded-vs-single-threaded equivalence checks: when, to whom, on
+/// which port, and a digest of the exact wire bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DeliveryRecord {
+    /// Delivery instant.
+    pub time: SimTime,
+    /// Receiving device (global node id).
+    pub node: NodeId,
+    /// Ingress port.
+    pub port: PortNo,
+    /// Frame length on the wire (padded, pre-FCS).
+    pub wire_len: usize,
+    /// FNV-1a over the frame's wire bytes.
+    pub digest: u64,
+}
+
+impl DeliveryRecord {
+    /// The canonical one-line rendering. Sorting records (they are
+    /// `Ord` on `(time, node, port, wire_len, digest)`) and rendering
+    /// each gives the **merged, timestamp-sorted delivery trace**: two
+    /// runs of the same scenario — single-threaded or sharded, any
+    /// shard count — must produce byte-identical renderings.
+    pub fn render(&self) -> String {
+        format!(
+            "{} n{} p{} RX {}B {:016x}",
+            self.time.as_nanos(),
+            self.node.0,
+            self.port.0,
+            self.wire_len,
+            self.digest
+        )
+    }
+}
+
+/// FNV-1a, the digest used by [`DeliveryRecord`] — tiny, dependency
+/// free, and stable across platforms.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Collects [`DeliveryRecord`]s — the trace the sharded engine's
+/// equivalence contract is stated over. Install one per network (for a
+/// sharded run the engine installs one per shard with a local→global
+/// node remap) and merge with [`DeliveryTracer::render_sorted`].
+#[derive(Debug, Default)]
+pub struct DeliveryTracer {
+    /// Records in emission order (*not* globally sorted in a sharded
+    /// run; sort before comparing).
+    pub records: Vec<DeliveryRecord>,
+    /// Local→global node translation; `None` entries are synthetic
+    /// nodes (shard boundary stubs) whose deliveries are internal
+    /// bookkeeping, not observable frame arrivals.
+    remap: Option<Vec<Option<NodeId>>>,
+    /// Reused emit buffer for digesting.
+    scratch: Vec<u8>,
+}
+
+impl DeliveryTracer {
+    /// A tracer recording every delivery under its engine-local ids.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tracer translating engine-local node ids through `remap`
+    /// (`None` = skip the node entirely). Used by the sharded engine.
+    pub(crate) fn with_remap(remap: Vec<Option<NodeId>>) -> Self {
+        DeliveryTracer { records: Vec::new(), remap: Some(remap), scratch: Vec::new() }
+    }
+
+    /// Merge any number of record sets into the canonical trace: sort
+    /// by `(time, node, port, len, digest)` and render one line each.
+    pub fn render_sorted(mut records: Vec<DeliveryRecord>) -> Vec<String> {
+        records.sort_unstable();
+        records.iter().map(DeliveryRecord::render).collect()
+    }
+}
+
+impl Tracer for DeliveryTracer {
+    fn record(&mut self, now: SimTime, event: TraceEvent<'_>) {
+        let TraceEvent::Delivered { node, port, frame } = event else { return };
+        let node = match &self.remap {
+            Some(map) => match map.get(node.0).copied().flatten() {
+                Some(global) => global,
+                None => return, // boundary stub: not an observable delivery
+            },
+            None => node,
+        };
+        self.scratch.clear();
+        frame.emit(&mut self.scratch);
+        self.records.push(DeliveryRecord {
+            time: now,
+            node,
+            port,
+            wire_len: self.scratch.len(),
+            digest: fnv1a(&self.scratch),
+        });
     }
 }
 

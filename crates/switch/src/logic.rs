@@ -145,7 +145,12 @@ impl<'a> LogicEnv<'a> {
 
 /// A bridge decision plane. See the module docs for the role split
 /// between logic and timing wrapper.
-pub trait SwitchLogic: 'static {
+///
+/// `Send` is required because the timing wrappers implement the
+/// simulator's `Device` trait, and devices may be moved onto sharded
+/// worker threads; logics are plain tables and counters, so this is
+/// free.
+pub trait SwitchLogic: 'static + Send {
     /// Name for traces.
     fn name(&self) -> &str;
 

@@ -8,9 +8,13 @@
 //! learning-switch network — which is how every A/B experiment in the
 //! repository is built.
 
+use crate::partition::Partition;
 use arppath::{ArpPathBridge, ArpPathConfig};
 use arppath_netfpga::{NetFpgaParams, NetFpgaSwitch};
-use arppath_netsim::{Device, LinkId, LinkParams, Network, NetworkBuilder, NodeId, Tracer};
+use arppath_netsim::{
+    Device, LinkId, LinkParams, Network, NetworkBuilder, NodeId, ShardedBuilder, ShardedNetwork,
+    Tracer,
+};
 use arppath_stp::{StpBridge, StpConfig};
 use arppath_switch::{IdealSwitch, LearningConfig, LearningSwitch, SwitchCounters};
 use arppath_wire::MacAddr;
@@ -121,8 +125,13 @@ impl TopoBuilder {
         self.bridge_names.len()
     }
 
-    /// Instantiate everything.
-    pub fn build(self) -> BuiltTopology {
+    /// Resolve ports, instantiate every device, and lay the links out
+    /// in their canonical order (bridge links in declaration order,
+    /// then host links in attachment order). Node and link ids are
+    /// implied by the orderings, so the single-threaded and sharded
+    /// builds of one plan number everything identically — which is
+    /// what makes their traces directly comparable.
+    fn plan(self) -> TopoPlan {
         let n = self.bridge_names.len();
         // Port allocation: bridge links first (declaration order), then
         // host links (attachment order).
@@ -142,62 +151,131 @@ impl TopoBuilder {
             host_ports.push(p);
         }
 
-        let mut nb = NetworkBuilder::new();
-        if let Some(t) = self.tracer {
-            nb.set_tracer(t);
-        }
-        let mut bridge_nodes = Vec::with_capacity(n);
+        // Devices in global id order: bridges, then hosts.
+        let mut devices = Vec::with_capacity(n + self.hosts.len());
         for (i, name) in self.bridge_names.iter().enumerate() {
             let mac = MacAddr::from_index(2, (i + 1) as u32);
             let ports = next_port[i].max(1);
-            let device = make_bridge(
+            devices.push(make_bridge(
                 self.kind,
                 name.clone(),
                 mac,
                 ports,
                 self.priority_overrides.get(&i).copied(),
-            );
-            bridge_nodes.push(nb.add(device));
+            ));
         }
-        let mut host_nodes = Vec::new();
-        for h in self.hosts.iter() {
-            // Placeholder push; devices are moved below.
-            let _ = h;
-        }
-        // Move host devices in (separate loop to keep borrows simple).
-        let hosts = self.hosts;
         let mut host_specs = Vec::new();
-        for h in hosts {
-            let node = nb.add(h.device);
-            host_nodes.push(node);
+        for h in self.hosts {
+            devices.push(h.device);
             host_specs.push((h.bridge, h.params));
         }
 
-        let mut bridge_link_ids = Vec::new();
+        // Links in global id order, as (node index, port) pairs.
+        let mut links = Vec::new();
         let mut link_index = BTreeMap::new();
         for (i, &(a, b, params)) in self.bridge_links.iter().enumerate() {
             let (ap, bp) = bridge_link_ports[i];
-            let id = nb.link(bridge_nodes[a.0], ap, bridge_nodes[b.0], bp, params);
-            bridge_link_ids.push(id);
-            let key = (a.0.min(b.0), a.0.max(b.0));
-            link_index.entry(key).or_insert(id);
+            link_index.entry((a.0.min(b.0), a.0.max(b.0))).or_insert(LinkId(links.len()));
+            links.push((a.0, ap, b.0, bp, params));
         }
-        let mut host_link_ids = Vec::new();
+        let n_bridge_links = links.len();
         for (i, &(bridge, params)) in host_specs.iter().enumerate() {
-            let id = nb.link(bridge_nodes[bridge.0], host_ports[i], host_nodes[i], 0, params);
-            host_link_ids.push(id);
+            links.push((bridge.0, host_ports[i], n + i, 0, params));
         }
 
-        BuiltTopology {
-            net: nb.build(),
+        TopoPlan {
             kind: self.kind,
-            bridge_nodes,
-            host_nodes,
-            bridge_links: bridge_link_ids,
-            host_links: host_link_ids,
+            devices,
+            links,
+            n_bridges: n,
+            n_bridge_links,
             link_index,
+            tracer: self.tracer,
         }
     }
+
+    /// Instantiate everything on the single-threaded engine.
+    pub fn build(self) -> BuiltTopology {
+        let plan = self.plan();
+        let mut nb = NetworkBuilder::new();
+        if let Some(t) = plan.tracer {
+            nb.set_tracer(t);
+        }
+        let nodes: Vec<NodeId> = plan.devices.into_iter().map(|d| nb.add(d)).collect();
+        let mut link_ids = Vec::with_capacity(plan.links.len());
+        for &(a, ap, b, bp, params) in &plan.links {
+            link_ids.push(nb.link(nodes[a], ap, nodes[b], bp, params));
+        }
+        BuiltTopology {
+            net: nb.build(),
+            kind: plan.kind,
+            bridge_nodes: nodes[..plan.n_bridges].to_vec(),
+            host_nodes: nodes[plan.n_bridges..].to_vec(),
+            bridge_links: link_ids[..plan.n_bridge_links].to_vec(),
+            host_links: link_ids[plan.n_bridge_links..].to_vec(),
+            link_index: plan.link_index,
+        }
+    }
+
+    /// Instantiate everything on the sharded parallel engine, devices
+    /// distributed per `partition`. Node and link ids match what
+    /// [`TopoBuilder::build`] would assign for the same description.
+    ///
+    /// `record_delivery_trace` enables the canonical merged delivery
+    /// trace ([`ShardedNetwork::delivery_trace`]) used by the
+    /// equivalence suite; leave it off for pure performance runs.
+    ///
+    /// # Panics
+    /// If the partition's bridge/host counts disagree with the
+    /// topology, or a tracer was installed (global tracers cannot span
+    /// worker threads — use the delivery trace instead).
+    pub fn build_sharded(
+        self,
+        partition: &Partition,
+        record_delivery_trace: bool,
+    ) -> ShardedTopology {
+        let plan = self.plan();
+        assert!(
+            plan.tracer.is_none(),
+            "global tracers are not supported on sharded builds; \
+             use record_delivery_trace / per-shard counters instead"
+        );
+        assert_eq!(partition.bridge_count(), plan.n_bridges, "partition bridge count mismatch");
+        assert_eq!(
+            partition.host_count(),
+            plan.devices.len() - plan.n_bridges,
+            "partition host count mismatch"
+        );
+        let mut sb = ShardedBuilder::new(partition.shards());
+        sb.record_delivery_trace(record_delivery_trace);
+        let nodes: Vec<NodeId> = plan.devices.into_iter().map(|d| sb.add(d)).collect();
+        let mut link_ids = Vec::with_capacity(plan.links.len());
+        for &(a, ap, b, bp, params) in &plan.links {
+            link_ids.push(sb.link(nodes[a], ap, nodes[b], bp, params));
+        }
+        ShardedTopology {
+            net: sb.build(&partition.assignment()),
+            kind: plan.kind,
+            bridge_nodes: nodes[..plan.n_bridges].to_vec(),
+            host_nodes: nodes[plan.n_bridges..].to_vec(),
+            bridge_links: link_ids[..plan.n_bridge_links].to_vec(),
+            host_links: link_ids[plan.n_bridge_links..].to_vec(),
+            link_index: plan.link_index,
+        }
+    }
+}
+
+/// A resolved topology description: devices in global id order and
+/// links in global id order, ready to feed either engine builder.
+struct TopoPlan {
+    kind: BridgeKind,
+    devices: Vec<Box<dyn Device>>,
+    /// `(a node index, a port, b node index, b port, params)`.
+    links: Vec<(usize, usize, usize, usize, LinkParams)>,
+    n_bridges: usize,
+    n_bridge_links: usize,
+    link_index: BTreeMap<(usize, usize), LinkId>,
+    tracer: Option<Box<dyn Tracer>>,
 }
 
 fn make_bridge(
@@ -282,6 +360,72 @@ impl BuiltTopology {
             BridgeKind::Stp(_) => self.net.device::<IdealSwitch<StpBridge>>(node).logic(),
             BridgeKind::StpNetFpga(..) => self.net.device::<NetFpgaSwitch<StpBridge>>(node).logic(),
             _ => panic!("topology does not run STP bridges"),
+        }
+    }
+
+    /// Generic forwarding counters of bridge `ix`, regardless of kind.
+    pub fn bridge_counters(&self, ix: BridgeIx) -> SwitchCounters {
+        use arppath_switch::SwitchLogic;
+        let node = self.bridge_nodes[ix.0];
+        match self.kind {
+            BridgeKind::ArpPath(_) => {
+                self.net.device::<IdealSwitch<ArpPathBridge>>(node).logic().counters().clone()
+            }
+            BridgeKind::ArpPathNetFpga(..) => {
+                self.net.device::<NetFpgaSwitch<ArpPathBridge>>(node).logic().counters().clone()
+            }
+            BridgeKind::Stp(_) => {
+                self.net.device::<IdealSwitch<StpBridge>>(node).logic().counters().clone()
+            }
+            BridgeKind::StpNetFpga(..) => {
+                self.net.device::<NetFpgaSwitch<StpBridge>>(node).logic().counters().clone()
+            }
+            BridgeKind::Learning(_) => {
+                self.net.device::<IdealSwitch<LearningSwitch>>(node).logic().counters().clone()
+            }
+        }
+    }
+}
+
+/// A topology instantiated on the sharded parallel engine: the same
+/// maps as [`BuiltTopology`], over a [`ShardedNetwork`]. Node and link
+/// ids are identical to what the single-threaded build of the same
+/// description assigns.
+pub struct ShardedTopology {
+    /// The partitioned network.
+    pub net: ShardedNetwork,
+    /// The protocol every bridge runs.
+    pub kind: BridgeKind,
+    /// Node ids of bridges, in declaration order.
+    pub bridge_nodes: Vec<NodeId>,
+    /// Node ids of hosts, in attachment order.
+    pub host_nodes: Vec<NodeId>,
+    /// Bridge-to-bridge links, in declaration order.
+    pub bridge_links: Vec<LinkId>,
+    /// Host attachment links, in attachment order.
+    pub host_links: Vec<LinkId>,
+    link_index: BTreeMap<(usize, usize), LinkId>,
+}
+
+impl ShardedTopology {
+    /// The (first) link between bridges `a` and `b`, if they are
+    /// adjacent.
+    pub fn link_between(&self, a: BridgeIx, b: BridgeIx) -> Option<LinkId> {
+        self.link_index.get(&(a.0.min(b.0), a.0.max(b.0))).copied()
+    }
+
+    /// The ARP-Path logic of bridge `ix`.
+    ///
+    /// # Panics
+    /// If the topology was not built with an ARP-Path kind.
+    pub fn arppath(&self, ix: BridgeIx) -> &ArpPathBridge {
+        let node = self.bridge_nodes[ix.0];
+        match self.kind {
+            BridgeKind::ArpPath(_) => self.net.device::<IdealSwitch<ArpPathBridge>>(node).logic(),
+            BridgeKind::ArpPathNetFpga(..) => {
+                self.net.device::<NetFpgaSwitch<ArpPathBridge>>(node).logic()
+            }
+            _ => panic!("topology does not run ARP-Path bridges"),
         }
     }
 

@@ -9,9 +9,11 @@
 pub mod builder;
 pub mod figures;
 pub mod generic;
+pub mod partition;
 
-pub use builder::{BridgeIx, BridgeKind, BuiltTopology, TopoBuilder};
+pub use builder::{BridgeIx, BridgeKind, BuiltTopology, ShardedTopology, TopoBuilder};
 pub use figures::{fig2_topology, fig3_topology, Fig1, Fig2, Fig3};
 pub use generic::{
     fat_tree, fat_tree_jittered, full_mesh, grid, line, random_connected, ring, FatTree,
 };
+pub use partition::Partition;

@@ -7,9 +7,8 @@ use arppath_host::{PingConfig, PingHost};
 use arppath_netsim::{CollectingTracer, SimDuration, SimTime};
 use arppath_topo::{BridgeKind, Fig2, TopoBuilder};
 use arppath_wire::MacAddr;
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn run_fig2_scenario(with_failure: bool) -> (Vec<String>, u64, u64) {
     let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
@@ -36,7 +35,7 @@ fn run_fig2_scenario(with_failure: bool) -> (Vec<String>, u64, u64) {
     );
     let p = t.host(fig.nic_a, Box::new(prober));
     t.host(fig.nic_b, Box::new(responder));
-    let sink = Rc::new(RefCell::new(CollectingTracer::default()));
+    let sink = Arc::new(Mutex::new(CollectingTracer::default()));
     t.set_tracer(Box::new(sink.clone()));
     let mut built = t.build();
     if with_failure {
@@ -46,7 +45,7 @@ fn run_fig2_scenario(with_failure: bool) -> (Vec<String>, u64, u64) {
     }
     built.net.run_until(SimTime(SimDuration::millis(250).as_nanos()));
     let prober = built.net.device::<PingHost>(built.host_nodes[p]);
-    let lines = sink.borrow().lines.clone();
+    let lines = sink.lock().unwrap().lines.clone();
     (lines, prober.received, built.net.stats().events)
 }
 

@@ -15,9 +15,8 @@ use arppath_host::{PingConfig, PingHost};
 use arppath_netsim::{CollectingTracer, NetworkStats, SimDuration, SimTime};
 use arppath_topo::{generic, BridgeKind, Fig1, Fig2, TopoBuilder};
 use arppath_wire::MacAddr;
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// How to drive the network once it is built.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -32,7 +31,7 @@ enum RunStrategy {
 /// lines plus final engine counters.
 fn drive(
     mut net: arppath_netsim::Network,
-    sink: Rc<RefCell<CollectingTracer>>,
+    sink: Arc<Mutex<CollectingTracer>>,
     horizon: SimTime,
     strategy: RunStrategy,
 ) -> (Vec<String>, NetworkStats) {
@@ -49,7 +48,7 @@ fn drive(
             }
         }
     }
-    let lines = sink.borrow().lines.clone();
+    let lines = sink.lock().unwrap().lines.clone();
     (lines, net.stats())
 }
 
@@ -59,7 +58,7 @@ fn ping_pair(
     at_a: arppath_topo::BridgeIx,
     at_b: arppath_topo::BridgeIx,
     count: u64,
-) -> Rc<RefCell<CollectingTracer>> {
+) -> Arc<Mutex<CollectingTracer>> {
     let prober = PingHost::new(
         "A",
         MacAddr::from_index(1, 1),
@@ -82,7 +81,7 @@ fn ping_pair(
     );
     t.host(at_a, Box::new(prober));
     t.host(at_b, Box::new(responder));
-    let sink = Rc::new(RefCell::new(CollectingTracer::default()));
+    let sink = Arc::new(Mutex::new(CollectingTracer::default()));
     t.set_tracer(Box::new(sink.clone()));
     sink
 }

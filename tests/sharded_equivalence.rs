@@ -1,0 +1,214 @@
+//! The sharded engine's contract, held at the trace level: a sharded
+//! run's **merged, timestamp-sorted delivery trace** is byte-for-byte
+//! identical to the single-threaded engine's on the same scenario —
+//! the paper's figure topologies and seeded fat-tree workloads alike —
+//! and the aggregate engine counters agree after boundary correction.
+//!
+//! Companion of `tests/engine_batching.rs`: that suite proves the
+//! batched run loop equals single-stepping *within* one engine; this
+//! one proves the partitioned engine equals the whole, across every
+//! partition tried. Between them, every execution strategy in the
+//! repository is pinned to one observable behaviour.
+
+use arppath::ArpPathConfig;
+use arppath_bench::experiments::e8_fattree::{self, E8Params};
+use arppath_host::{PingConfig, PingHost, TrafficPattern};
+use arppath_netsim::{DeliveryTracer, NetworkStats, SimDuration, SimTime};
+use arppath_topo::{BridgeKind, Fig1, Fig2, Partition, TopoBuilder};
+use arppath_wire::MacAddr;
+use std::net::Ipv4Addr;
+use std::sync::{Arc, Mutex};
+
+/// Attach the standard prober/responder ping pair used across the
+/// repository's determinism suites.
+fn attach_ping_pair(
+    t: &mut TopoBuilder,
+    at_a: arppath_topo::BridgeIx,
+    at_b: arppath_topo::BridgeIx,
+) {
+    let prober = PingHost::new(
+        "A",
+        MacAddr::from_index(1, 1),
+        Ipv4Addr::new(10, 0, 0, 1),
+        1,
+        PingConfig {
+            target: Ipv4Addr::new(10, 0, 0, 2),
+            start_at: SimDuration::millis(5),
+            interval: SimDuration::millis(7),
+            count: 10,
+            ..Default::default()
+        },
+    );
+    let responder = PingHost::new(
+        "B",
+        MacAddr::from_index(1, 2),
+        Ipv4Addr::new(10, 0, 0, 2),
+        2,
+        PingConfig::default(),
+    );
+    t.host(at_a, Box::new(prober));
+    t.host(at_b, Box::new(responder));
+}
+
+/// Run on the single-threaded engine, returning the canonical delivery
+/// trace and the engine counters.
+fn single_run(mut t: TopoBuilder, horizon: SimTime) -> (Vec<String>, NetworkStats) {
+    let sink = Arc::new(Mutex::new(DeliveryTracer::new()));
+    t.set_tracer(Box::new(sink.clone()));
+    let mut built = t.build();
+    built.net.run_until(horizon);
+    let records = std::mem::take(&mut sink.lock().unwrap().records);
+    (DeliveryTracer::render_sorted(records), built.net.stats())
+}
+
+/// Run on the sharded engine under `partition`, returning the merged
+/// canonical delivery trace and the corrected aggregate counters.
+fn sharded_run(
+    t: TopoBuilder,
+    partition: &Partition,
+    horizon: SimTime,
+) -> (Vec<String>, NetworkStats) {
+    let mut st = t.build_sharded(partition, true);
+    st.net.run_until(horizon);
+    (st.net.delivery_trace(), st.net.stats())
+}
+
+fn fig1_scenario() -> (TopoBuilder, usize) {
+    let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
+    let fig = Fig1::build(&mut t);
+    attach_ping_pair(&mut t, fig.host_s_bridge(), fig.host_d_bridge());
+    let bridges = t.bridge_count();
+    (t, bridges)
+}
+
+fn fig2_scenario() -> (TopoBuilder, usize) {
+    let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
+    // Heterogeneous delays: the minimum-latency path differs from the
+    // minimum-hop path, so the race actually races — and every arrival
+    // time is distinct, the regime the figures are studied in.
+    let fig = Fig2::build_with_delays(&mut t, &[2, 3, 1, 4, 2, 5, 1, 3]);
+    attach_ping_pair(&mut t, fig.nic_a, fig.nic_b);
+    let bridges = t.bridge_count();
+    (t, bridges)
+}
+
+#[test]
+fn fig1_sharded_trace_is_byte_identical() {
+    let horizon = SimTime(SimDuration::millis(150).as_nanos());
+    let (t, bridges) = fig1_scenario();
+    let (reference, ref_stats) = single_run(t, horizon);
+    assert!(!reference.is_empty(), "scenario must produce traffic");
+    for shards in [2usize, 3] {
+        let (t, _) = fig1_scenario();
+        let partition = Partition::round_robin(bridges, 2, shards);
+        let (trace, stats) = sharded_run(t, &partition, horizon);
+        assert_eq!(trace, reference, "Fig-1 delivery trace diverged at {shards} shards");
+        assert_eq!(stats, ref_stats, "Fig-1 counters diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn fig2_sharded_trace_is_byte_identical() {
+    let horizon = SimTime(SimDuration::millis(250).as_nanos());
+    let (t, bridges) = fig2_scenario();
+    let (reference, ref_stats) = single_run(t, horizon);
+    assert!(!reference.is_empty(), "scenario must produce traffic");
+    for shards in [2usize, 3] {
+        let (t, _) = fig2_scenario();
+        let partition = Partition::round_robin(bridges, 2, shards);
+        let (trace, stats) = sharded_run(t, &partition, horizon);
+        assert_eq!(trace, reference, "Fig-2 delivery trace diverged at {shards} shards");
+        assert_eq!(stats, ref_stats, "Fig-2 counters diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn seeded_fat_tree_workloads_are_trace_identical() {
+    // The E8 scenario end to end (jittered fabric, seeded permutation
+    // workload, rack-major partition) — exactly what
+    // `repro -- e8 --quick --shards N --trace-out` captures for CI.
+    for seed in [0xE8u64, 7] {
+        let params = |shards| E8Params {
+            k: 4,
+            hosts_per_edge: 2,
+            datagrams: 3,
+            seed,
+            shards,
+            ..Default::default()
+        };
+        let reference = e8_fattree::delivery_trace(&params(1), TrafficPattern::Permutation);
+        assert!(!reference.is_empty(), "seed {seed:#x}: scenario must produce traffic");
+        for shards in [2usize, 4] {
+            let trace = e8_fattree::delivery_trace(&params(shards), TrafficPattern::Permutation);
+            assert_eq!(
+                trace, reference,
+                "seed {seed:#x}: fat-tree delivery trace diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn hotspot_pattern_is_trace_identical_too() {
+    // Incast concentrates frames onto few receivers — the densest
+    // cross-shard arrival schedule the workload generator produces.
+    let params = |shards| E8Params {
+        k: 4,
+        hosts_per_edge: 2,
+        datagrams: 3,
+        hot_receivers: 2,
+        shards,
+        ..Default::default()
+    };
+    let pattern = TrafficPattern::Hotspot { hot_receivers: 2 };
+    let reference = e8_fattree::delivery_trace(&params(1), pattern);
+    let trace = e8_fattree::delivery_trace(&params(2), pattern);
+    assert_eq!(trace, reference, "hotspot delivery trace diverged");
+}
+
+#[test]
+fn sharded_runs_are_reproducible() {
+    // Parallel execution must not cost the determinism contract:
+    // thread scheduling never leaks into the trace.
+    let horizon = SimTime(SimDuration::millis(150).as_nanos());
+    let run = || {
+        let (t, bridges) = fig1_scenario();
+        let partition = Partition::round_robin(bridges, 2, 3);
+        sharded_run(t, &partition, horizon)
+    };
+    let (a, stats_a) = run();
+    let (b, stats_b) = run();
+    assert_eq!(a, b, "two identical sharded runs diverged");
+    assert_eq!(stats_a, stats_b);
+}
+
+#[test]
+fn e8_metrics_match_across_engines() {
+    // Beyond the trace: the full measured E8 row (core-load fairness,
+    // path diversity, delivery counts) is identical, because every
+    // link's byte counters and every bridge's learned table are.
+    let params = |shards| E8Params {
+        k: 4,
+        hosts_per_edge: 2,
+        datagrams: 3,
+        hot_receivers: 2,
+        shards,
+        ..Default::default()
+    };
+    let single = e8_fattree::run(&params(1));
+    let sharded = e8_fattree::run(&params(2));
+    assert!(single.shard_summary.is_none());
+    assert!(sharded.shard_summary.is_some(), "sharded run must report per-shard stats");
+    for (a, b) in single.rows.iter().zip(&sharded.rows) {
+        assert_eq!(a.pattern, b.pattern);
+        assert_eq!(a.delivered, b.delivered, "{}: delivered diverged", a.pattern);
+        assert_eq!(a.sent, b.sent, "{}: sent diverged", a.pattern);
+        assert_eq!(a.jain_core, b.jain_core, "{}: core-load fairness diverged", a.pattern);
+        assert_eq!(a.distinct_cores, b.distinct_cores, "{}: diversity diverged", a.pattern);
+        assert_eq!(
+            a.pairs_per_core_jain, b.pairs_per_core_jain,
+            "{}: pair spread diverged",
+            a.pattern
+        );
+    }
+}

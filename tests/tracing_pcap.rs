@@ -7,9 +7,8 @@ use arppath_host::{PingConfig, PingHost};
 use arppath_netsim::{CountingTracer, NodeId, PcapTracer, SimDuration, SimTime, TeeTracer};
 use arppath_topo::{BridgeKind, Fig3, TopoBuilder};
 use arppath_wire::MacAddr;
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 #[test]
 fn pcap_capture_of_live_scenario_is_well_formed() {
@@ -41,11 +40,11 @@ fn pcap_capture_of_live_scenario_is_well_formed() {
     // Capture only what host B's NIC sees, plus global counters.
     // Host node ids follow bridge ids: 4 bridges then 2 hosts.
     let b_node = NodeId(4 + b_ix);
-    let shared: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
-    struct VecSink(Rc<RefCell<Vec<u8>>>);
+    let shared: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    struct VecSink(Arc<Mutex<Vec<u8>>>);
     impl std::io::Write for VecSink {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.borrow_mut().extend_from_slice(buf);
+            self.0.lock().unwrap().extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> std::io::Result<()> {
@@ -53,7 +52,7 @@ fn pcap_capture_of_live_scenario_is_well_formed() {
         }
     }
     let pcap = PcapTracer::for_node(VecSink(shared.clone()), b_node).unwrap();
-    let counts = Rc::new(RefCell::new(CountingTracer::default()));
+    let counts = Arc::new(Mutex::new(CountingTracer::default()));
     t.set_tracer(Box::new(TeeTracer(pcap, counts.clone())));
 
     let mut built = t.build();
@@ -61,7 +60,7 @@ fn pcap_capture_of_live_scenario_is_well_formed() {
     built.net.run_until(SimTime(SimDuration::millis(100).as_nanos()));
 
     // Pcap global header + at least: ARP request, 5 echo requests.
-    let bytes = shared.borrow();
+    let bytes = shared.lock().unwrap();
     assert!(bytes.len() > 24 + 6 * 16, "capture too small: {} bytes", bytes.len());
     assert_eq!(
         u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
@@ -82,7 +81,7 @@ fn pcap_capture_of_live_scenario_is_well_formed() {
     assert!(records >= 6, "expected ≥6 frames at B, saw {records}");
 
     // The counting tracer agrees with the engine's own books.
-    let c = counts.borrow();
+    let c = counts.lock().unwrap();
     let stats = built.net.stats();
     assert_eq!(c.sent, stats.frames_sent);
     assert_eq!(c.delivered, stats.frames_delivered);
