@@ -1,0 +1,59 @@
+//! Fast-table comparison: the d-left hash table against the BTreeMap
+//! `AgingMap` oracle at the ≥10k-entry scale the All-Path scalability
+//! study flags, plus the calendar queue against the binary heap it
+//! replaced.
+//!
+//! The PR-5 acceptance bar lives here: `tables/dleft_get_hit_10k` must
+//! be ≥2× faster than `tables/btree_get_hit_10k`. The idle-sweep pair
+//! shows the timer wheel's O(expired) background aging against the
+//! oracle's O(table) scan.
+
+use arppath_bench::micro;
+use arppath_netsim::SimTime;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_tables(c: &mut Criterion) {
+    let n = micro::TABLE_ENTRIES;
+    let hits = micro::key_schedule(n, false);
+    let misses = micro::key_schedule(n, true);
+    let mut dleft = micro::dleft_fixture(n);
+    let mut btree = micro::btree_fixture(n);
+    let now = SimTime(1);
+
+    let mut g = c.benchmark_group("tables");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("dleft_get_hit_10k", |b| {
+        b.iter(|| {
+            let sum: u64 =
+                hits.iter().filter_map(|k| dleft.get(k, now).copied()).map(u64::from).sum();
+            black_box(sum)
+        })
+    });
+    g.bench_function("btree_get_hit_10k", |b| {
+        b.iter(|| {
+            let sum: u64 =
+                hits.iter().filter_map(|k| btree.get(k, now).copied()).map(u64::from).sum();
+            black_box(sum)
+        })
+    });
+    g.bench_function("dleft_get_miss_10k", |b| {
+        b.iter(|| black_box(misses.iter().filter(|k| dleft.get(k, now).is_some()).count()))
+    });
+    g.bench_function("btree_get_miss_10k", |b| {
+        b.iter(|| black_box(misses.iter().filter(|k| btree.get(k, now).is_some()).count()))
+    });
+    g.bench_function("dleft_sweep_idle_10k", |b| b.iter(|| black_box(dleft.sweep(now))));
+    g.bench_function("btree_sweep_idle_10k", |b| b.iter(|| black_box(btree.sweep(now))));
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.throughput(Throughput::Elements(1024 * micro::CHURN_COHORT));
+    g.bench_function("calq_churn_1k", |b| b.iter(|| black_box(micro::calq_churn(1024))));
+    g.bench_function("heap_churn_1k", |b| b.iter(|| black_box(micro::heap_churn(1024))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_scheduler);
+criterion_main!(benches);

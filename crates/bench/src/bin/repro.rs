@@ -14,12 +14,74 @@
 //! writes the merged, timestamp-sorted delivery trace of the first E8
 //! fabric's permutation run — CI diffs a sharded trace against a
 //! single-threaded one to hold the equivalence contract.
+//!
+//! `--bench-json FILE` additionally writes the machine-readable bench
+//! trajectory (schema documented in `BASELINES.md`): per-experiment
+//! wall clocks plus the fast-table micro medians. The committed
+//! `BENCH_PR5.json` is one of these files; CI re-captures a quick one
+//! and gates it with the `bench-guard` subcommand:
+//!
+//! ```text
+//! repro -- bench-guard --baseline BENCH_PR5.json --current ci.json \
+//!     --key e8_quick_ms --max-ratio 2
+//! ```
 
 use arppath_bench::experiments::{
     e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation, e8_fattree,
 };
+use arppath_bench::micro;
 use arppath_host::TrafficPattern;
 use arppath_netsim::SimDuration;
+use std::time::Instant;
+
+/// Extract the number following `"key":` in a (flat-keyed) JSON text.
+/// Keys in the bench-trajectory schema are globally unique, so no real
+/// JSON parser is needed — and the guard must not grow dependencies.
+fn json_number_for_key(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Render one flat JSON object section from key/value pairs.
+fn json_section(pairs: &[(String, f64)]) -> String {
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")).collect();
+    body.join(",\n")
+}
+
+/// `bench-guard`: compare one key of two bench-trajectory files and
+/// fail (exit 1) when the current value exceeds baseline × ratio.
+fn bench_guard(mut args: Vec<String>) -> ! {
+    let baseline_path = take_value(&mut args, "--baseline").expect("bench-guard needs --baseline");
+    let current_path = take_value(&mut args, "--current").expect("bench-guard needs --current");
+    let key = take_value(&mut args, "--key").unwrap_or_else(|| "e8_quick_ms".into());
+    let ratio: f64 = take_value(&mut args, "--max-ratio")
+        .map(|v| v.parse().expect("--max-ratio expects a number"))
+        .unwrap_or(2.0);
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("bench-guard: cannot read {path}: {e}"))
+    };
+    let baseline = json_number_for_key(&read(&baseline_path), &key)
+        .unwrap_or_else(|| panic!("bench-guard: key {key} missing from {baseline_path}"));
+    let current = json_number_for_key(&read(&current_path), &key)
+        .unwrap_or_else(|| panic!("bench-guard: key {key} missing from {current_path}"));
+    let observed = current / baseline;
+    println!(
+        "bench-guard: {key} baseline={baseline:.3} current={current:.3} \
+         ratio={observed:.2} (max {ratio:.2})"
+    );
+    if current > baseline * ratio {
+        eprintln!("bench-guard: REGRESSION — {key} exceeded the {ratio:.2}x bound");
+        std::process::exit(1);
+    }
+    println!("bench-guard: OK");
+    std::process::exit(0);
+}
 
 /// Pull `--flag value` or `--flag=value` out of `args`, consuming it.
 fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -39,6 +101,12 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-guard") {
+        args.remove(0);
+        bench_guard(args);
+    }
+    let bench_json = take_value(&mut args, "--bench-json");
+    let mut wall_ms: Vec<(String, f64)> = Vec::new();
     let shards: usize = take_value(&mut args, "--shards")
         .map(|v| v.parse().expect("--shards expects a number"))
         .unwrap_or(1);
@@ -60,6 +128,7 @@ fn main() {
     }
 
     if want("e1") {
+        let started = Instant::now();
         eprintln!("[repro] running E1 (Fig. 2 latency, ARP-Path vs STP root sweep)...");
         let params = if quick {
             e1_latency::E1Params { probes: 20, ..Default::default() }
@@ -72,9 +141,11 @@ fn main() {
             "headline (ARP-Path ≤ every STP placement, < worst): {}\n",
             if e1_latency::verify_headline(&mut result) { "HOLDS" } else { "VIOLATED" }
         );
+        wall_ms.push(("e1_ms".into(), started.elapsed().as_secs_f64() * 1e3));
     }
 
     if want("e2") {
+        let started = Instant::now();
         eprintln!("[repro] running E2 (Fig. 3 path repair during video stream)...");
         let params = if quick {
             e2_repair::E2Params {
@@ -91,9 +162,11 @@ fn main() {
         if params.stp_timer_divisor > 1 {
             println!("(STP timers scaled down by {}x in quick mode)\n", params.stp_timer_divisor);
         }
+        wall_ms.push(("e2_ms".into(), started.elapsed().as_secs_f64() * 1e3));
     }
 
     if want("e3") {
+        let started = Instant::now();
         eprintln!("[repro] running E3 (line-rate frame-size sweep)...");
         let params = if quick {
             e3_linerate::E3Params { frames_per_size: 500, ..Default::default() }
@@ -106,9 +179,11 @@ fn main() {
             "line rate sustained at every size: {}\n",
             if e3_linerate::verify_linerate(&result) { "YES" } else { "NO" }
         );
+        wall_ms.push(("e3_ms".into(), started.elapsed().as_secs_f64() * 1e3));
     }
 
     if want("e5") {
+        let started = Instant::now();
         eprintln!("[repro] running E5 (load distribution on a grid fabric)...");
         let params = if quick {
             e5_load::E5Params { side: 3, probes: 20, stp_timer_divisor: 10 }
@@ -117,9 +192,11 @@ fn main() {
         };
         let result = e5_load::run(&params);
         println!("{}", e5_load::table(&result).render_markdown());
+        wall_ms.push(("e5_ms".into(), started.elapsed().as_secs_f64() * 1e3));
     }
 
     if want("e6") {
+        let started = Instant::now();
         eprintln!("[repro] running E6 (ARP proxy broadcast suppression)...");
         let params = if quick {
             e6_proxy::E6Params { side: 3, clients: 24, servers: 2 }
@@ -132,9 +209,11 @@ fn main() {
             "suppression effective: {}\n",
             if e6_proxy::verify_suppression(&result) { "YES" } else { "NO" }
         );
+        wall_ms.push(("e6_ms".into(), started.elapsed().as_secs_f64() * 1e3));
     }
 
     if want("e7") {
+        let started = Instant::now();
         eprintln!("[repro] running E7 (lock timer / table capacity ablations)...");
         let params = if quick {
             e7_ablation::E7Params { probes: 20, ..Default::default() }
@@ -143,6 +222,7 @@ fn main() {
         };
         let result = e7_ablation::run(&params);
         println!("{}", e7_ablation::table(&result).render_markdown());
+        wall_ms.push(("e7_ms".into(), started.elapsed().as_secs_f64() * 1e3));
     }
 
     if want("e8") {
@@ -158,6 +238,7 @@ fn main() {
             ..Default::default()
         };
         let mut results = Vec::new();
+        let sweep_started = Instant::now();
         for kh in ks {
             let params = e8_params(kh);
             eprintln!(
@@ -172,7 +253,9 @@ fn main() {
                 params.k,
                 started.elapsed().as_millis()
             );
+            wall_ms.push((format!("e8_k{}_ms", params.k), started.elapsed().as_secs_f64() * 1e3));
         }
+        wall_ms.push(("e8_total_ms".into(), sweep_started.elapsed().as_secs_f64() * 1e3));
         println!("{}", e8_fattree::table(&results).render_markdown());
         for r in &results {
             println!("{}", e8_fattree::utilization_table(r).render_markdown());
@@ -196,5 +279,42 @@ fn main() {
         }
     }
 
+    if let Some(path) = &bench_json {
+        // The guard key: a quick-geometry E8 run, measured in-process.
+        // Under --quick the sweep above already ran it; re-run either
+        // way so the key always means the same workload.
+        eprintln!("[repro] bench-json: timing the quick E8 guard workload...");
+        let quick_params = e8_fattree::E8Params {
+            k: 4,
+            hosts_per_edge: 2,
+            datagrams: 5,
+            hot_receivers: 2,
+            shards: 1,
+            ..Default::default()
+        };
+        // Best of three: a single ~1.5 ms sample is at the mercy of
+        // scheduler noise; the minimum is the stable signal the CI
+        // guard should compare.
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..3 {
+            let started = Instant::now();
+            let quick_result = e8_fattree::run(&quick_params);
+            best_ms = best_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            assert!(e8_fattree::verify_spread(&quick_result), "quick E8 headline must hold");
+        }
+        wall_ms.push(("e8_quick_ms".into(), best_ms));
+        eprintln!("[repro] bench-json: running fast-table micro measurements...");
+        let micro_ns: Vec<(String, f64)> =
+            micro::measure_all().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let json = format!(
+            "{{\n  \"schema\": \"arppath-bench-trajectory/v1\",\n  \"pr\": \"PR5\",\n  \
+             \"quick\": {},\n  \"wall_ms\": {{\n{}\n  }},\n  \"micro_ns\": {{\n{}\n  }}\n}}\n",
+            quick,
+            json_section(&wall_ms),
+            json_section(&micro_ns),
+        );
+        std::fs::write(path, json).expect("write --bench-json file");
+        eprintln!("[repro] bench-json written to {path}");
+    }
     eprintln!("[repro] done.");
 }

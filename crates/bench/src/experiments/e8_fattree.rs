@@ -125,8 +125,8 @@ pub struct E8Result {
 /// either engine, behind one accessor surface so every metric below is
 /// computed identically for single-threaded and sharded runs.
 enum Fabric {
-    Single(BuiltTopology),
-    Sharded(ShardedTopology),
+    Single(Box<BuiltTopology>),
+    Sharded(Box<ShardedTopology>),
 }
 
 impl Fabric {
@@ -290,7 +290,12 @@ fn scenario(
     params: &E8Params,
     pattern: TrafficPattern,
 ) -> (TopoBuilder, FatTree, Vec<usize>, SimTime) {
-    let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
+    // Size the bridges' d-left path tables for the fabric: a core
+    // bridge learns every station, so geometry follows the host count
+    // (the NetFPGA analogue: BRAM sized for the target network).
+    let stations = params.k * params.k / 2 * params.hosts_per_edge;
+    let cfg = ArpPathConfig::default().with_expected_stations(stations);
+    let mut t = TopoBuilder::new(BridgeKind::ArpPath(cfg));
     // Jittered fabric delays: on a perfectly symmetric tree every race
     // resolves by the deterministic tie-break and all flows funnel
     // onto one core. The jitter seed derives from the workload seed so
@@ -338,9 +343,9 @@ fn instantiate(params: &E8Params, t: TopoBuilder, ft: &FatTree, trace: bool) -> 
     if shards > 1 {
         let hosts = ft.host_capacity(params.hosts_per_edge);
         let partition = Partition::rack_major(ft, params.hosts_per_edge, hosts, shards);
-        Fabric::Sharded(t.build_sharded(&partition, trace))
+        Fabric::Sharded(Box::new(t.build_sharded(&partition, trace)))
     } else {
-        Fabric::Single(t.build())
+        Fabric::Single(Box::new(t.build()))
     }
 }
 

@@ -35,7 +35,7 @@ use crate::counters::ArpPathCounters;
 use crate::entry::{EntryState, PathEntry};
 use arppath_netsim::{PortNo, SimTime, TimerToken};
 use arppath_switch::{
-    AgingMap, DropReason, LogicEnv, ProcessingClass, SwitchCounters, SwitchLogic,
+    AgingMap, DLeftTable, DropReason, LogicEnv, ProcessingClass, SwitchCounters, SwitchLogic,
 };
 use arppath_wire::{ArpOp, ArpPacket, EthernetFrame, MacAddr, PathCtl, PathCtlKind, Payload};
 use std::net::Ipv4Addr;
@@ -61,8 +61,11 @@ pub struct ArpPathBridge {
     mac: MacAddr,
     num_ports: usize,
     config: ArpPathConfig,
-    /// The path table: station MAC → (port, Locked/Learnt).
-    table: AgingMap<MacAddr, PathEntry>,
+    /// The path table: station MAC → (port, Locked/Learnt). This is
+    /// the structure the paper implements in NetFPGA block RAM: a
+    /// fixed-geometry d-left hash table with background aging (the
+    /// [`AgingMap`] oracle remains the reference semantics).
+    table: DLeftTable<MacAddr, PathEntry>,
     /// Per-port instant until which the port counts as *core*
     /// (a neighbouring bridge's hello was heard recently).
     core_until: Vec<SimTime>,
@@ -99,8 +102,8 @@ impl ArpPathBridge {
             name: name.into(),
             mac,
             num_ports,
+            table: DLeftTable::with_bucket_bits(config.geometry_bits()),
             config,
-            table: AgingMap::new(),
             core_until: vec![SimTime::ZERO; num_ports],
             hello_seq: 0,
             nonce_counter: 0,

@@ -46,6 +46,13 @@ pub struct ArpPathConfig {
     /// dropped (the safe overflow behaviour: flooding without a lock
     /// could loop). Experiment E7 sweeps this.
     pub table_capacity: Option<usize>,
+    /// log2 of d-left buckets per way for the path table's physical
+    /// geometry (see `arppath_switch::dleft`). `None` derives it: from
+    /// `table_capacity` when set (4× slot headroom over the capacity),
+    /// the library default otherwise. Deployments expecting many
+    /// stations (E8's fat-tree fabrics) set it from the host count,
+    /// the way a NetFPGA build sizes its BRAM for the target network.
+    pub table_bucket_bits: Option<u32>,
 }
 
 impl Default for ArpPathConfig {
@@ -61,6 +68,7 @@ impl Default for ArpPathConfig {
             proxy: false,
             proxy_cache_time: SimDuration::secs(60),
             table_capacity: None,
+            table_bucket_bits: None,
         }
     }
 }
@@ -82,6 +90,22 @@ impl ArpPathConfig {
     pub fn with_table_capacity(mut self, entries: usize) -> Self {
         self.table_capacity = Some(entries);
         self
+    }
+
+    /// Size the path table's physical geometry for an expected station
+    /// count (4× slot headroom; see `arppath_switch::bucket_bits_for`).
+    pub fn with_expected_stations(mut self, stations: usize) -> Self {
+        self.table_bucket_bits = Some(arppath_switch::bucket_bits_for(stations));
+        self
+    }
+
+    /// The d-left geometry the path table is built with.
+    pub fn geometry_bits(&self) -> u32 {
+        match (self.table_bucket_bits, self.table_capacity) {
+            (Some(bits), _) => bits,
+            (None, Some(cap)) => arppath_switch::bucket_bits_for(cap),
+            (None, None) => arppath_switch::dleft::DEFAULT_BUCKET_BITS,
+        }
     }
 }
 

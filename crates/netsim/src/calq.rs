@@ -1,0 +1,624 @@
+//! A calendar-queue event scheduler: the engine's pending-event set as
+//! a bucketed time wheel with a heap annex, replacing the plain binary
+//! heap.
+//!
+//! The discrete-event hot path is dominated by queue traffic: every
+//! frame crossing every link is two push/pop pairs (`TxDone`,
+//! `Deliver`), and under load those events cluster within microseconds
+//! of the present (serialization is hundreds of nanoseconds). A binary
+//! heap pays O(log n) pointer-hopping comparisons per operation over
+//! the whole pending set; the calendar queue exploits the clustering:
+//!
+//! * events within the **ring horizon** ([`BUCKET_COUNT`] ×
+//!   `2^`[`BUCKET_SHIFT`] ns ≈ 33 µs of future) go into fixed-width
+//!   time buckets — push is a shift + an append, and a same-timestamp
+//!   batch drains in one bucket visit;
+//! * events beyond the horizon (protocol timers, idle-period traffic)
+//!   go to a `BinaryHeap` **annex** and are popped from it directly
+//!   when due — a sparse simulation therefore runs at binary-heap
+//!   speed plus a peek, while a dense one runs at ring speed. The
+//!   horizon is the density filter; nothing migrates between the two.
+//!
+//! # Ordering contract
+//!
+//! Identical to the heap it replaces: strict `(time, seq)` order —
+//! chronological with insertion order as tie-break. The head is the
+//! minimum of the ring head (found via a two-level occupancy bitmap,
+//! O(1)) and the annex top, cached so
+//! [`head_time`](CalendarQueue::head_time) is O(1) and `&self`. All
+//! events sharing a timestamp land in one ring bucket and/or at the
+//! annex top, so [`drain_head`](CalendarQueue::drain_head) reassembles
+//! the cohort in seq order, sorting only on the rare horizon-straddle
+//! path.
+//!
+//! The ring-window invariant that makes bucket masking sound: the
+//! cursor is the bucket of the last popped timestamp and only moves
+//! forward (the engine never schedules into the past), so every ring
+//! entry's absolute bucket lies in `[cursor, cursor + BUCKET_COUNT)`
+//! and two live entries can only share a masked index by sharing the
+//! bucket.
+//!
+//! `tests` drive it against a `BinaryHeap` reference on randomized
+//! push/pop schedules; the engine-level byte-identity suites
+//! (`tests/engine_batching.rs`, `tests/sharded_equivalence.rs`, the
+//! CI trace diff) pin that the swap changed no delivery trace.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// log2 of the bucket width in nanoseconds: 64 ns buckets keep even
+/// back-to-back minimum-frame traffic (672 ns apart) in distinct
+/// buckets and same-instant cohorts alone in theirs.
+pub const BUCKET_SHIFT: u32 = 6;
+/// Ring size (power of two, at most 64 × 64 for the two-level bitmap).
+/// 512 × 64 ns ≈ 33 µs of horizon: the in-flight frame events of a
+/// busy fabric land here; anything sparser runs through the annex.
+pub const BUCKET_COUNT: usize = 512;
+/// Words in the occupancy bitmap.
+const BITMAP_WORDS: usize = BUCKET_COUNT / 64;
+
+/// One scheduled item.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    item: T,
+}
+
+/// Annex wrapper ordered by `(time, seq)` alone.
+#[derive(Debug, Clone)]
+struct Far<T>(Entry<T>);
+
+impl<T> PartialEq for Far<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<T> Eq for Far<T> {}
+impl<T> PartialOrd for Far<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Far<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.time, self.0.seq).cmp(&(other.0.time, other.0.seq))
+    }
+}
+
+/// Two-level occupancy index over the ring: one bit per bucket plus a
+/// one-word summary (bit w set ⇔ word w has any set bit). Finding the
+/// first occupied bucket in circular order from any start position is
+/// a handful of shifts and `trailing_zeros` calls.
+#[derive(Debug, Clone)]
+struct Occupancy {
+    words: [u64; BITMAP_WORDS],
+    summary: u64,
+}
+
+impl Occupancy {
+    fn new() -> Self {
+        Occupancy { words: [0; BITMAP_WORDS], summary: 0 }
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize) {
+        let w = idx >> 6;
+        self.words[w] |= 1 << (idx & 63);
+        self.summary |= 1 << w;
+    }
+
+    #[inline]
+    fn clear(&mut self, idx: usize) {
+        let w = idx >> 6;
+        self.words[w] &= !(1 << (idx & 63));
+        if self.words[w] == 0 {
+            self.summary &= !(1 << w);
+        }
+    }
+
+    /// First set bit at or after `start` in circular order (wrapping
+    /// past the end back to the beginning).
+    fn next_set_circular(&self, start: usize) -> Option<usize> {
+        let w0 = start >> 6;
+        // Bits of the start word at or after the start position.
+        let high = self.words[w0] & (!0u64 << (start & 63));
+        if high != 0 {
+            return Some(w0 * 64 + high.trailing_zeros() as usize);
+        }
+        // Rotate the summary so the word after `w0` sits at bit 0; the
+        // lowest set bit is then the circularly nearest occupied word.
+        // `w0` itself rotates behind the (always zero) unused upper
+        // bits, correctly last: its remaining bits (below `start`) are
+        // the farthest in circular order.
+        let rot = ((w0 + 1) & (BITMAP_WORDS - 1)) as u32;
+        let s = self.summary.rotate_right(rot);
+        if s == 0 {
+            return None;
+        }
+        let w = (rot as usize + s.trailing_zeros() as usize) & (BITMAP_WORDS - 1);
+        Some(w * 64 + self.words[w].trailing_zeros() as usize)
+    }
+}
+
+/// The queue. `T` is the event payload; ordering keys (`time`, `seq`)
+/// are supplied on push and echoed back on pop.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    /// The ring: `BUCKET_COUNT` buckets of `BUCKET_SHIFT`-wide slices
+    /// of time, indexed by absolute bucket number masked down.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Which ring buckets hold entries.
+    occupied: Occupancy,
+    /// Absolute bucket number of the last popped timestamp. Every ring
+    /// entry's absolute bucket is in `[cursor, cursor + BUCKET_COUNT)`.
+    cursor: u64,
+    /// Entries in the ring.
+    ring_len: usize,
+    /// Events pushed beyond the ring horizon, by `(time, seq)`; popped
+    /// directly from here when due.
+    annex: BinaryHeap<Reverse<Far<T>>>,
+    /// Cached global minimum `(time, seq)`, kept exact on every
+    /// mutation so `head_time` is O(1) and `&self`.
+    head: Option<(SimTime, u64)>,
+    /// Total entries (ring + annex).
+    len: usize,
+    /// Reused scratch for cohorts that need a seq sort or filtering.
+    cohort: Vec<(u64, T)>,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue with the cursor at t = 0.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..BUCKET_COUNT).map(|_| Vec::new()).collect(),
+            occupied: Occupancy::new(),
+            cursor: 0,
+            ring_len: 0,
+            annex: BinaryHeap::new(),
+            head: None,
+            len: 0,
+            cohort: Vec::new(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Timestamp of the earliest pending event. O(1).
+    pub fn head_time(&self) -> Option<SimTime> {
+        self.head.map(|(t, _)| t)
+    }
+
+    /// Absolute bucket number of `time`.
+    #[inline]
+    fn abs_bucket(time: SimTime) -> u64 {
+        time.as_nanos() >> BUCKET_SHIFT
+    }
+
+    /// Ring index of an absolute bucket number.
+    #[inline]
+    fn ring_index(abs: u64) -> usize {
+        (abs & (BUCKET_COUNT as u64 - 1)) as usize
+    }
+
+    /// Schedule `item` at `(time, seq)`. `seq` values must be unique;
+    /// the time must not precede the last popped time — the engine's
+    /// existing no-scheduling-into-the-past invariant.
+    ///
+    /// # Panics
+    /// If `time` is behind the queue's progress; accepting it would
+    /// corrupt the ring-window ordering invariant.
+    pub fn push(&mut self, time: SimTime, seq: u64, item: T) {
+        let abs = Self::abs_bucket(time);
+        assert!(abs >= self.cursor, "push at {time} is behind the queue's progress");
+        if abs >= self.cursor + BUCKET_COUNT as u64 {
+            self.annex.push(Reverse(Far(Entry { time, seq, item })));
+        } else {
+            let idx = Self::ring_index(abs);
+            self.buckets[idx].push(Entry { time, seq, item });
+            self.occupied.set(idx);
+            self.ring_len += 1;
+        }
+        self.len += 1;
+        if self.head.is_none_or(|h| (time, seq) < h) {
+            self.head = Some((time, seq));
+        }
+    }
+
+    /// Advance the popped-time floor.
+    #[inline]
+    fn advance_cursor(&mut self, abs: u64) {
+        if abs > self.cursor {
+            self.cursor = abs;
+        }
+    }
+
+    /// Recompute `head` after a removal: the minimum of the first
+    /// occupied ring bucket's `(time, seq)` (bitmap lookup) and the
+    /// annex top.
+    fn rescan_head(&mut self) {
+        let mut best: Option<(SimTime, u64)> =
+            self.annex.peek().map(|Reverse(far)| (far.0.time, far.0.seq));
+        if self.ring_len > 0 {
+            let idx = self
+                .occupied
+                .next_set_circular(Self::ring_index(self.cursor))
+                .expect("ring_len > 0 but no occupied bucket");
+            for e in &self.buckets[idx] {
+                if best.is_none_or(|b| (e.time, e.seq) < b) {
+                    best = Some((e.time, e.seq));
+                }
+            }
+        }
+        debug_assert_eq!(best.is_none(), self.len == 0);
+        self.head = best;
+    }
+
+    /// Remove and return the earliest event as `(time, seq, item)`.
+    pub fn pop_min(&mut self) -> Option<(SimTime, u64, T)> {
+        let (time, seq) = self.head?;
+        let from_annex =
+            self.annex.peek().is_some_and(|Reverse(far)| (far.0.time, far.0.seq) == (time, seq));
+        let entry = if from_annex {
+            let Some(Reverse(Far(entry))) = self.annex.pop() else { unreachable!() };
+            entry
+        } else {
+            let idx = Self::ring_index(Self::abs_bucket(time));
+            let bucket = &mut self.buckets[idx];
+            let pos = bucket
+                .iter()
+                .position(|e| e.time == time && e.seq == seq)
+                .expect("cached head missing from its bucket");
+            // `remove`, not `swap_remove`: same-time runs keep their
+            // push (= seq) order for the drain fast path.
+            let entry = bucket.remove(pos);
+            if bucket.is_empty() {
+                self.occupied.clear(idx);
+            }
+            self.ring_len -= 1;
+            entry
+        };
+        self.len -= 1;
+        self.advance_cursor(Self::abs_bucket(time));
+        self.rescan_head();
+        Some((entry.time, entry.seq, entry.item))
+    }
+
+    /// Remove every event at the head timestamp, appending their items
+    /// to `out` in seq order, and return that timestamp. One bucket
+    /// visit and/or a run of annex pops — the engine's same-timestamp
+    /// batch drain.
+    pub fn drain_head(&mut self, out: &mut Vec<T>) -> Option<SimTime> {
+        let (time, _) = self.head?;
+        let annex_has = self.annex.peek().is_some_and(|Reverse(far)| far.0.time == time);
+        // The cohort's ring bucket, if the masked slot actually carries
+        // this time (it may alias a different absolute bucket).
+        let idx = Self::ring_index(Self::abs_bucket(time));
+        let ring_has = self.ring_len > 0 && self.buckets[idx].iter().any(|e| e.time == time);
+        match (ring_has, annex_has) {
+            (true, false) => self.drain_ring_cohort(idx, time, out),
+            (false, true) => self.drain_annex_cohort(time, out),
+            (true, true) => {
+                // A cohort straddling the horizon (part pushed before
+                // the cursor reached it, part after): gather both
+                // sides, sort by seq.
+                let mut cohort = std::mem::take(&mut self.cohort);
+                debug_assert!(cohort.is_empty());
+                let bucket = &mut self.buckets[idx];
+                let mut i = 0;
+                while i < bucket.len() {
+                    if bucket[i].time == time {
+                        let e = bucket.remove(i);
+                        cohort.push((e.seq, e.item));
+                    } else {
+                        i += 1;
+                    }
+                }
+                self.ring_len -= cohort.len();
+                self.len -= cohort.len();
+                if bucket.is_empty() {
+                    self.occupied.clear(idx);
+                }
+                while let Some(Reverse(far)) = self.annex.peek() {
+                    if far.0.time != time {
+                        break;
+                    }
+                    let Some(Reverse(Far(e))) = self.annex.pop() else { unreachable!() };
+                    cohort.push((e.seq, e.item));
+                    self.len -= 1;
+                }
+                cohort.sort_unstable_by_key(|(seq, _)| *seq);
+                out.extend(cohort.drain(..).map(|(_, item)| item));
+                self.cohort = cohort;
+            }
+            (false, false) => unreachable!("cached head in neither structure"),
+        }
+        self.advance_cursor(Self::abs_bucket(time));
+        self.rescan_head();
+        Some(time)
+    }
+
+    /// Drain the `time` cohort out of ring bucket `idx`.
+    fn drain_ring_cohort(&mut self, idx: usize, time: SimTime, out: &mut Vec<T>) {
+        let bucket = &mut self.buckets[idx];
+        // Fast path for the overwhelmingly common case: the bucket
+        // holds exactly the head cohort, already in push (= seq) order.
+        let mut prev_seq = None;
+        let uniform = bucket.iter().all(|e| {
+            let ok = e.time == time && prev_seq < Some(e.seq);
+            prev_seq = Some(e.seq);
+            ok
+        });
+        if uniform {
+            self.ring_len -= bucket.len();
+            self.len -= bucket.len();
+            out.extend(bucket.drain(..).map(|e| e.item));
+            self.occupied.clear(idx);
+            return;
+        }
+        // Mixed bucket: extract matches preserving relative order
+        // (push order = seq order for same-time entries), keep the
+        // rest.
+        let mut cohort = std::mem::take(&mut self.cohort);
+        debug_assert!(cohort.is_empty());
+        let mut i = 0;
+        while i < bucket.len() {
+            if bucket[i].time == time {
+                let e = bucket.remove(i);
+                cohort.push((e.seq, e.item));
+            } else {
+                i += 1;
+            }
+        }
+        self.ring_len -= cohort.len();
+        self.len -= cohort.len();
+        if bucket.is_empty() {
+            self.occupied.clear(idx);
+        }
+        debug_assert!(cohort.windows(2).all(|w| w[0].0 < w[1].0), "bucket lost seq order");
+        out.extend(cohort.drain(..).map(|(_, item)| item));
+        self.cohort = cohort;
+    }
+
+    /// Drain the `time` cohort off the top of the annex heap (pops
+    /// arrive in `(time, seq)` order — already sorted).
+    fn drain_annex_cohort(&mut self, time: SimTime, out: &mut Vec<T>) {
+        while let Some(Reverse(far)) = self.annex.peek() {
+            if far.0.time != time {
+                break;
+            }
+            let Some(Reverse(Far(entry))) = self.annex.pop() else { unreachable!() };
+            out.push(entry.item);
+            self.len -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(t(500), 0, "a");
+        q.push(t(100), 1, "b");
+        q.push(t(100), 2, "c");
+        q.push(t(2_000_000_000), 3, "far"); // straight to the annex
+        q.push(t(30), 4, "d");
+        let mut got = Vec::new();
+        while let Some((time, seq, item)) = q.pop_min() {
+            got.push((time.as_nanos(), seq, item));
+        }
+        assert_eq!(
+            got,
+            vec![
+                (30, 4, "d"),
+                (100, 1, "b"),
+                (100, 2, "c"),
+                (500, 0, "a"),
+                (2_000_000_000, 3, "far")
+            ]
+        );
+    }
+
+    #[test]
+    fn drain_head_takes_exactly_the_head_cohort() {
+        let mut q = CalendarQueue::new();
+        q.push(t(100), 0, 'a');
+        q.push(t(100), 1, 'b');
+        q.push(t(101), 2, 'x'); // same bucket, later time
+        q.push(t(100), 3, 'c');
+        let mut out = Vec::new();
+        assert_eq!(q.drain_head(&mut out), Some(t(100)));
+        assert_eq!(out, vec!['a', 'b', 'c']);
+        assert_eq!(q.head_time(), Some(t(101)));
+        out.clear();
+        assert_eq!(q.drain_head(&mut out), Some(t(101)));
+        assert_eq!(out, vec!['x']);
+        assert!(q.is_empty());
+        assert_eq!(q.drain_head(&mut out), None);
+    }
+
+    #[test]
+    fn annex_events_pop_when_due() {
+        let mut q = CalendarQueue::new();
+        // Far beyond the ~33 µs horizon from cursor 0.
+        q.push(t(10_000_000), 0, "timer1");
+        q.push(t(5_000_000), 1, "timer2");
+        q.push(t(100), 2, "near");
+        assert_eq!(q.pop_min().map(|(_, _, i)| i), Some("near"));
+        assert_eq!(q.head_time(), Some(t(5_000_000)));
+        assert_eq!(q.pop_min().map(|(_, _, i)| i), Some("timer2"));
+        assert_eq!(q.pop_min().map(|(_, _, i)| i), Some("timer1"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn near_pushes_after_a_far_head_stay_ordered() {
+        // Ring drains while a far timer waits in the annex; events then
+        // pushed near the present must still pop first, in order.
+        let mut q = CalendarQueue::new();
+        q.push(t(10_000_000), 0, 0u64);
+        q.push(t(100), 1, 1);
+        assert_eq!(q.pop_min().map(|(_, s, _)| s), Some(1));
+        assert_eq!(q.head_time(), Some(t(10_000_000)), "far timer heads the queue");
+        // The popped event's handler schedules follow-ups just after.
+        q.push(t(772), 2, 2);
+        q.push(t(772), 3, 3);
+        q.push(t(900), 4, 4);
+        assert_eq!(q.head_time(), Some(t(772)));
+        let mut out = Vec::new();
+        assert_eq!(q.drain_head(&mut out), Some(t(772)));
+        assert_eq!(out, vec![2, 3]);
+        assert_eq!(q.pop_min().map(|(_, s, _)| s), Some(4));
+        assert_eq!(q.pop_min().map(|(_, s, _)| s), Some(0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cohort_straddling_the_horizon_drains_in_seq_order() {
+        let mut q = CalendarQueue::new();
+        // seq 0 at t=40µs goes to the annex (beyond the horizon as
+        // seen from cursor 0)...
+        q.push(t(40_000), 0, 0u64);
+        q.push(t(10_000), 1, 1);
+        // ...pop the nearer event so the cursor advances and t=40µs
+        // falls inside the ring window...
+        assert_eq!(q.pop_min().map(|(_, s, _)| s), Some(1));
+        // ...then push same-time events directly into the ring. The
+        // cohort now spans annex (seq 0) and ring (seqs 2, 3); drain
+        // must still yield seq order.
+        q.push(t(40_000), 2, 2);
+        q.push(t(40_000), 3, 3);
+        let mut out = Vec::new();
+        assert_eq!(q.drain_head(&mut out), Some(t(40_000)));
+        assert_eq!(out, vec![0, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bitmap_wraps_circularly() {
+        let mut occ = Occupancy::new();
+        occ.set(10);
+        assert_eq!(occ.next_set_circular(0), Some(10));
+        assert_eq!(occ.next_set_circular(10), Some(10));
+        assert_eq!(occ.next_set_circular(11), Some(10), "wraps all the way round");
+        occ.set(500);
+        assert_eq!(occ.next_set_circular(11), Some(500));
+        assert_eq!(occ.next_set_circular(501), Some(10));
+        occ.clear(10);
+        occ.clear(500);
+        assert_eq!(occ.next_set_circular(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the queue's progress")]
+    fn pushing_into_the_past_panics() {
+        let mut q = CalendarQueue::new();
+        q.push(t(5_000_000), 0, ());
+        let _ = q.pop_min();
+        q.push(t(100), 1, ());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_binary_heap_reference(
+            ops in proptest::collection::vec((0u8..4, 0u64..200_000, 0u8..4), 1..200),
+        ) {
+            // Random interleaving of pushes (at now + delta, with
+            // deltas spanning ring and annex territory) and pops; the
+            // calendar queue must pop the exact (time, seq) sequence a
+            // binary heap does.
+            let mut cal = CalendarQueue::new();
+            let mut heap: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now = SimTime::ZERO;
+            for (op, delta, burst) in ops {
+                if op == 0 {
+                    // pop (possibly empty)
+                    let got = cal.pop_min().map(|(time, s, ())| (time, s));
+                    let want = heap.pop().map(|Reverse(k)| k);
+                    prop_assert_eq!(got, want);
+                    if let Some((time, _)) = got {
+                        now = time;
+                    }
+                } else {
+                    // push a small same-time burst to exercise seq ties
+                    let time = now + crate::SimDuration::nanos(delta);
+                    for _ in 0..=burst {
+                        cal.push(time, seq, ());
+                        heap.push(Reverse((time, seq)));
+                        seq += 1;
+                    }
+                }
+                prop_assert_eq!(cal.head_time(), heap.peek().map(|Reverse((time, _))| *time));
+                prop_assert_eq!(cal.len(), heap.len());
+            }
+            // Full drain at the end must agree too.
+            while let Some(Reverse(want)) = heap.pop() {
+                prop_assert_eq!(cal.pop_min().map(|(time, s, ())| (time, s)), Some(want));
+            }
+            prop_assert!(cal.is_empty());
+        }
+
+        #[test]
+        fn drain_head_equals_repeated_pops(
+            ops in proptest::collection::vec((0u8..2, 1u64..100_000, 0u8..3), 1..64),
+        ) {
+            // Two queues fed identically (with interleaved pops that
+            // advance the cursor); draining batches from one must
+            // equal single-popping the other. Times cluster on 1 µs
+            // grid points so same-timestamp batches occur, and reach
+            // far enough to land cohorts on both sides of the horizon.
+            let mut a = CalendarQueue::new();
+            let mut b = CalendarQueue::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for (op, delta, burst) in ops {
+                if op == 0 && !a.is_empty() {
+                    let (time, s, _) = a.pop_min().expect("non-empty");
+                    let (bt, bs, _) = b.pop_min().expect("b matches");
+                    prop_assert_eq!((time, s), (bt, bs));
+                    now = time.as_nanos();
+                    continue;
+                }
+                let time = t(now + (delta / 1_000) * 1_000);
+                for _ in 0..=burst {
+                    a.push(time, seq, seq);
+                    b.push(time, seq, seq);
+                    seq += 1;
+                }
+            }
+            let mut batch = Vec::new();
+            while let Some(time) = a.drain_head(&mut batch) {
+                for item in batch.drain(..) {
+                    let (bt, bs, bi) = b.pop_min().expect("b drained early");
+                    prop_assert_eq!((bt, bs), (time, item));
+                    prop_assert_eq!(bi, item);
+                }
+            }
+            prop_assert!(b.is_empty());
+        }
+    }
+}

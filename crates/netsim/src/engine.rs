@@ -95,13 +95,12 @@
 //! assert_eq!(net.stats().frames_delivered, 1);
 //! ```
 
+use crate::calq::CalendarQueue;
 use crate::device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
 use crate::link::{Dir, Endpoint, Link, LinkId, LinkParams};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, Tracer};
 use arppath_wire::EthernetFrame;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 /// What happens at an instant.
 #[derive(Debug)]
@@ -116,31 +115,6 @@ enum EventKind {
     LinkAdmin { link: LinkId, up: bool },
     /// Test hook: hand a frame directly to a device's ingress.
     Inject { node: NodeId, port: PortNo, frame: EthernetFrame },
-}
-
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // (time, seq): chronological, insertion order as tiebreak. The
-        // heap holds `Reverse<Event>` so this yields a min-queue.
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
 }
 
 /// Network-wide counters.
@@ -165,7 +139,12 @@ pub struct NetworkStats {
 pub struct NetworkBuilder {
     devices: Vec<Box<dyn Device>>,
     links: Vec<Link>,
-    port_map: HashMap<(NodeId, PortNo), (LinkId, Dir)>,
+    /// Dense egress map `[node][port] -> (link, direction)`, grown as
+    /// links are cabled; moves into the network unchanged. The key
+    /// space (node ids × port numbers) is small and dense, so a flat
+    /// table beats hashing and — unlike a `HashMap` — has a
+    /// deterministic layout from construction on.
+    port_map: Vec<Vec<Option<(LinkId, Dir)>>>,
     tracer: Option<Box<dyn Tracer>>,
 }
 
@@ -185,6 +164,7 @@ impl NetworkBuilder {
     pub fn add(&mut self, device: Box<dyn Device>) -> NodeId {
         let id = NodeId(self.devices.len());
         self.devices.push(device);
+        self.port_map.push(Vec::new());
         id
     }
 
@@ -210,16 +190,19 @@ impl NetworkBuilder {
         let ea = Endpoint { node: a, port: PortNo(a_port) };
         let eb = Endpoint { node: b, port: PortNo(b_port) };
         let id = LinkId(self.links.len());
-        for (ep, label) in [(ea, "A"), (eb, "B")] {
+        for (ep, dir, label) in [(ea, Dir::AtoB, "A"), (eb, Dir::BtoA, "B")] {
+            let row = &mut self.port_map[ep.node.0];
+            if row.len() <= ep.port.0 {
+                row.resize(ep.port.0 + 1, None);
+            }
             assert!(
-                !self.port_map.contains_key(&(ep.node, ep.port)),
+                row[ep.port.0].is_none(),
                 "endpoint {label} ({:?} port {}) is already cabled",
                 ep.node,
                 ep.port.0
             );
+            row[ep.port.0] = Some((id, dir));
         }
-        self.port_map.insert((ea.node, ea.port), (id, Dir::AtoB));
-        self.port_map.insert((eb.node, eb.port), (id, Dir::BtoA));
         self.links.push(Link::new(ea, eb, params));
         id
     }
@@ -237,19 +220,14 @@ impl NetworkBuilder {
             }
         }
         let n = self.devices.len();
-        // Flatten the builder's hash map into a dense per-node, per-port
-        // egress table: the per-send lookup is then two array indexes.
-        let mut port_table: Vec<Vec<Option<(LinkId, Dir)>>> =
-            ports_up.iter().map(|v| vec![None; v.len()]).collect();
-        for (&(node, port), &entry) in &self.port_map {
-            port_table[node.0][port.0] = Some(entry);
-        }
         let mut net = Network {
             devices: self.devices.into_iter().map(Some).collect(),
             links: self.links,
-            port_table,
+            // The builder's egress map is already the dense per-node,
+            // per-port table the hot path indexes: move it as-is.
+            port_table: self.port_map,
             ports_up,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             now: SimTime::ZERO,
             seq: 0,
             stats: NetworkStats::default(),
@@ -272,7 +250,7 @@ pub struct Network {
     /// uncabled ports.
     port_table: Vec<Vec<Option<(LinkId, Dir)>>>,
     ports_up: Vec<Vec<bool>>,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: CalendarQueue<EventKind>,
     now: SimTime,
     seq: u64,
     stats: NetworkStats,
@@ -281,7 +259,7 @@ pub struct Network {
     /// writes N send commands here without allocating after warm-up).
     scratch: Vec<Command>,
     /// Reused buffer holding the events of the batch being processed.
-    batch: Vec<Event>,
+    batch: Vec<EventKind>,
 }
 
 impl Network {
@@ -293,7 +271,7 @@ impl Network {
     /// Timestamp of the earliest pending event, if any. Lets harnesses
     /// single-step up to a horizon without consuming events past it.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(ev)| ev.time)
+        self.queue.head_time()
     }
 
     /// Engine-wide counters.
@@ -426,11 +404,11 @@ impl Network {
     /// loops are asserted against; experiment harnesses should prefer
     /// [`Network::run_until`] / [`Network::run_until_idle`].
     pub fn step(&mut self) -> Option<SimTime> {
-        let Reverse(ev) = self.queue.pop()?;
-        debug_assert!(ev.time >= self.now, "event queue went backwards");
-        self.now = ev.time;
+        let (time, _seq, kind) = self.queue.pop_min()?;
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
         self.stats.events += 1;
-        self.process(ev.kind);
+        self.process(kind);
         Some(self.now)
     }
 
@@ -442,28 +420,22 @@ impl Network {
     /// call drains them as a follow-up batch at the same time, which is
     /// exactly the `(time, seq)` order single-stepping would visit.
     pub fn step_batch(&mut self, bound: SimTime) -> bool {
-        let Some(Reverse(head)) = self.queue.peek() else { return false };
-        let time = head.time;
+        let Some(time) = self.queue.head_time() else { return false };
         if time > bound {
             return false;
         }
         debug_assert!(time >= self.now, "event queue went backwards");
-        // Single pop loop: move the whole same-instant run out of the
-        // heap before touching any device, into a buffer reused across
-        // batches. The heap pops yield ascending seq by construction.
+        // One calendar-bucket pass moves the whole same-instant run out
+        // of the queue before touching any device, into a buffer reused
+        // across batches, in ascending seq order.
         let mut batch = std::mem::take(&mut self.batch);
         debug_assert!(batch.is_empty());
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time != time {
-                break;
-            }
-            let Reverse(ev) = self.queue.pop().expect("peeked event vanished");
-            batch.push(ev);
-        }
+        let drained = self.queue.drain_head(&mut batch);
+        debug_assert_eq!(drained, Some(time));
         self.now = time;
         self.stats.events += batch.len() as u64;
-        for ev in batch.drain(..) {
-            self.process(ev.kind);
+        for kind in batch.drain(..) {
+            self.process(kind);
         }
         self.batch = batch;
         true
@@ -496,7 +468,7 @@ impl Network {
     fn push_at(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq, kind }));
+        self.queue.push(time, seq, kind);
     }
 
     fn trace(&mut self, event: TraceEvent<'_>) {

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calq;
 pub mod device;
 pub mod engine;
 pub mod link;
@@ -52,6 +53,7 @@ pub mod sharded;
 pub mod time;
 pub mod trace;
 
+pub use calq::CalendarQueue;
 pub use device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
 pub use engine::{Network, NetworkBuilder, NetworkStats};
 pub use link::{Dir, DirStats, Endpoint, Link, LinkId, LinkParams};

@@ -18,6 +18,22 @@ pub struct Aged<V> {
     pub expires: SimTime,
 }
 
+impl<V> Aged<V> {
+    /// The one expiry-boundary predicate every table implementation
+    /// shares: an entry is live strictly *before* its expiry instant
+    /// and dead from the instant onward (`expires <= now` is dead).
+    ///
+    /// Both [`AgingMap`] and [`DLeftTable`](crate::DLeftTable) route
+    /// every liveness decision (`get`, `peek`, `touch`, `sweep`,
+    /// `iter_live`) through this method, so the boundary cannot drift
+    /// between the reference oracle and the hardware-shaped table; the
+    /// `expiry_boundary_is_shared` tests in both modules pin it.
+    #[inline]
+    pub fn is_live(&self, now: SimTime) -> bool {
+        self.expires > now
+    }
+}
+
 /// A key-value map whose entries expire at absolute instants.
 ///
 /// Expiry is *lazy* (checked on access) plus an explicit [`AgingMap::sweep`]
@@ -44,7 +60,7 @@ impl<K: Ord + Copy, V> AgingMap<K, V> {
     /// the way.
     pub fn get(&mut self, key: &K, now: SimTime) -> Option<&V> {
         if let Some(aged) = self.entries.get(key) {
-            if aged.expires <= now {
+            if !aged.is_live(now) {
                 self.entries.remove(key);
                 return None;
             }
@@ -55,7 +71,7 @@ impl<K: Ord + Copy, V> AgingMap<K, V> {
     /// Mutable live value for `key` at `now`.
     pub fn get_mut(&mut self, key: &K, now: SimTime) -> Option<&mut V> {
         if let Some(aged) = self.entries.get(key) {
-            if aged.expires <= now {
+            if !aged.is_live(now) {
                 self.entries.remove(key);
                 return None;
             }
@@ -66,19 +82,19 @@ impl<K: Ord + Copy, V> AgingMap<K, V> {
     /// Peek without removing expired entries (for read-only inspection
     /// in tests and reports).
     pub fn peek(&self, key: &K, now: SimTime) -> Option<&V> {
-        self.entries.get(key).filter(|a| a.expires > now).map(|a| &a.value)
+        self.entries.get(key).filter(|a| a.is_live(now)).map(|a| &a.value)
     }
 
     /// The full aged entry (value + expiry), live at `now`.
     pub fn peek_aged(&self, key: &K, now: SimTime) -> Option<&Aged<V>> {
-        self.entries.get(key).filter(|a| a.expires > now)
+        self.entries.get(key).filter(|a| a.is_live(now))
     }
 
     /// Extend the expiry of `key` to `expires` if present and live.
     /// Returns whether the entry existed.
     pub fn touch(&mut self, key: &K, expires: SimTime, now: SimTime) -> bool {
         match self.entries.get_mut(key) {
-            Some(aged) if aged.expires > now => {
+            Some(aged) if aged.is_live(now) => {
                 aged.expires = aged.expires.max(expires);
                 true
             }
@@ -96,8 +112,10 @@ impl<K: Ord + Copy, V> AgingMap<K, V> {
         self.entries.remove(key).map(|a| a.value)
     }
 
-    /// Drop every entry for which `pred` holds (live ones included) —
-    /// used to flush table entries pointing at a failed port.
+    /// Drop every entry for which `pred` *fails* (live ones included)
+    /// — i.e. keep exactly the entries `pred` accepts, like
+    /// `BTreeMap::retain`. Used to flush table entries pointing at a
+    /// failed port.
     pub fn retain<F: FnMut(&K, &V) -> bool>(&mut self, mut pred: F) {
         self.entries.retain(|k, a| pred(k, &a.value));
     }
@@ -105,7 +123,7 @@ impl<K: Ord + Copy, V> AgingMap<K, V> {
     /// Remove entries expired at `now`; returns how many were removed.
     pub fn sweep(&mut self, now: SimTime) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|_, a| a.expires > now);
+        self.entries.retain(|_, a| a.is_live(now));
         before - self.entries.len()
     }
 
@@ -127,7 +145,7 @@ impl<K: Ord + Copy, V> AgingMap<K, V> {
 
     /// Iterate live entries at `now`, in key order.
     pub fn iter_live(&self, now: SimTime) -> impl Iterator<Item = (&K, &V)> {
-        self.entries.iter().filter(move |(_, a)| a.expires > now).map(|(k, a)| (k, &a.value))
+        self.entries.iter().filter(move |(_, a)| a.is_live(now)).map(|(k, a)| (k, &a.value))
     }
 }
 
@@ -167,6 +185,27 @@ mod tests {
         assert!(m.touch(&1, t(200), t(50)), "shorter touch succeeds");
         assert_eq!(m.peek_aged(&1, t(50)).unwrap().expires, t(300), "but keeps later expiry");
         assert!(!m.touch(&2, t(300), t(50)), "absent key");
+    }
+
+    #[test]
+    fn expiry_boundary_is_shared() {
+        // `expires <= now` is dead, `expires > now` is live — the one
+        // boundary (Aged::is_live) every accessor of BOTH table
+        // implementations must agree on. The d-left twin of this test
+        // lives in tests/dleft_oracle.rs.
+        let aged = Aged { value: (), expires: t(100) };
+        assert!(aged.is_live(t(99)));
+        assert!(!aged.is_live(t(100)), "the expiry instant itself is dead");
+        assert!(!aged.is_live(t(101)));
+        let mut m = AgingMap::new();
+        m.insert(1u32, "x", t(100));
+        assert_eq!(m.peek(&1, t(99)), Some(&"x"));
+        assert_eq!(m.peek(&1, t(100)), None, "peek agrees with is_live at the boundary");
+        assert!(m.touch(&1, t(200), t(99)), "touch sees the entry live at t-1");
+        assert!(!m.touch(&1, t(300), t(200)), "touch sees it dead at the new boundary");
+        m.insert(2u32, "y", t(100));
+        assert_eq!(m.sweep(t(100)), 1, "sweep removes exactly the boundary-dead entry");
+        assert_eq!(m.get(&2, t(100)), None, "get agrees with sweep at the boundary");
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Shared switching substrate for the ARP-Path reproduction.
 //!
-//! Three pieces every bridge in the repository builds on:
+//! Four pieces every bridge in the repository builds on:
 //!
-//! * [`AgingMap`] — deterministic expiring tables (FIBs, lock tables,
-//!   ARP caches);
+//! * [`AgingMap`] — deterministic expiring tables (host ARP caches,
+//!   small control tables) and the property-tested *reference oracle*
+//!   for the hardware-shaped table below;
+//! * [`DLeftTable`] — the hardware-faithful d-left hash table (fixed
+//!   geometry, multiply-shift hashing, [`wheel`] background aging)
+//!   backing the learning FIB and the ARP-Path lock table, mirroring
+//!   the NetFPGA implementation the paper measures;
 //! * [`SwitchLogic`] — the decision-plane trait that separates a
 //!   bridge's forwarding algorithm from its timing model, so the same
 //!   ARP-Path FSM runs unmodified under the ideal (zero-latency) device
@@ -15,11 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod aging;
+pub mod dleft;
 pub mod ideal;
 pub mod learning;
 pub mod logic;
+pub mod wheel;
 
 pub use aging::{Aged, AgingMap};
+pub use dleft::{bucket_bits_for, DLeftKey, DLeftTable};
 pub use ideal::IdealSwitch;
 pub use learning::{LearningConfig, LearningSwitch};
 pub use logic::{DropReason, LogicEnv, ProcessingClass, SwitchCounters, SwitchLogic};

@@ -1,0 +1,254 @@
+//! A hierarchical timer wheel: the software analogue of the NetFPGA
+//! background aging scrubber.
+//!
+//! The paper's hardware ages table entries with a scrubber that walks
+//! the table continuously in the background, so expiry work never sits
+//! on the lookup path. A `BTreeMap` sweep is the opposite: O(table)
+//! per sweep, all of it on the caller. This wheel restores the hardware
+//! shape: expiry instants are filed into power-of-two time buckets and
+//! [`TimerWheel::advance`] hands back only the entries whose bucket
+//! range the clock has passed — O(expired + passed buckets), not
+//! O(table).
+//!
+//! # Lazy revalidation
+//!
+//! Entries are *hints*, not authority. Each carries the flat slot index
+//! it was filed for and the slot's generation stamp at filing time; the
+//! table owning the slots revalidates on delivery (wrong generation →
+//! the slot was vacated or re-keyed since, ignore; expiry extended
+//! since → re-file at the new instant). This is what lets
+//! [`touch`](crate::dleft::DLeftTable::touch) extend a deadline without
+//! finding and moving the old wheel entry — the stale entry fires
+//! early, fails revalidation against the live expiry, and is re-filed.
+//!
+//! # Geometry
+//!
+//! [`LEVELS`] levels of [`SLOTS`] slots. A tick is `1 << shift`
+//! nanoseconds (default [`DEFAULT_TICK_SHIFT`] → 1.024 µs); level `l`
+//! buckets are `SLOTS^l` ticks wide, so eight levels cover 64⁸ ticks ≈
+//! 9 sim-years — nothing ever lands outside the wheel. Entries cascade
+//! down a level each time the cursor passes their bucket, reaching
+//! tick resolution by level 0; an [`advance`](TimerWheel::advance) that
+//! jumps far processes at most one full rotation per level, so the
+//! cost of a jump is bounded by `LEVELS × SLOTS` bucket visits plus the
+//! entries actually due.
+
+use arppath_netsim::SimTime;
+
+/// Hierarchy depth. 64⁸ ticks of range at 6 bits per level.
+pub const LEVELS: usize = 8;
+/// log2 of [`SLOTS`]: each level resolves 6 bits of the tick count.
+pub const SLOT_BITS: u32 = 6;
+/// Buckets per level.
+pub const SLOTS: usize = 1 << SLOT_BITS;
+/// Default tick granularity: 2¹⁰ ns = 1.024 µs, well under every
+/// protocol timeout in the repository (lock times are ≥ 500 µs).
+pub const DEFAULT_TICK_SHIFT: u32 = 10;
+
+/// One filed deadline: *slot `slot` of the owning table, generation
+/// `gen`, expected to expire at `fires`*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerEntry {
+    /// Expiry instant recorded when the entry was filed (the slot's
+    /// live expiry may have moved later since; revalidate).
+    pub fires: SimTime,
+    /// Flat slot index in the owning table.
+    pub slot: u32,
+    /// The slot's generation when filed; a vacate/re-key bumps the
+    /// slot's generation and strands this entry.
+    pub gen: u32,
+}
+
+/// The wheel: `LEVELS × SLOTS` buckets of [`TimerEntry`].
+#[derive(Debug, Clone)]
+pub struct TimerWheel {
+    /// Tick = `1 << shift` nanoseconds.
+    shift: u32,
+    /// The tick the wheel has been advanced to.
+    now_tick: u64,
+    /// Flat `LEVELS × SLOTS` bucket array.
+    buckets: Vec<Vec<TimerEntry>>,
+    /// Entries currently filed (including stale ones awaiting
+    /// revalidation).
+    len: usize,
+    /// Reused cascade buffer.
+    scratch: Vec<TimerEntry>,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel::new(DEFAULT_TICK_SHIFT)
+    }
+}
+
+impl TimerWheel {
+    /// A wheel with `1 << tick_shift` nanosecond ticks, positioned at
+    /// t = 0.
+    pub fn new(tick_shift: u32) -> Self {
+        assert!(tick_shift < 32, "tick shift {tick_shift} is absurdly coarse");
+        TimerWheel {
+            shift: tick_shift,
+            now_tick: 0,
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of filed entries, stale ones included.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is filed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// File a deadline. Deadlines at or before the wheel's position go
+    /// into the current tick's bucket and come back on the next
+    /// [`advance`](TimerWheel::advance).
+    pub fn insert(&mut self, fires: SimTime, slot: u32, gen: u32) {
+        let tick = (fires.as_nanos() >> self.shift).max(self.now_tick);
+        self.file(tick, TimerEntry { fires, slot, gen });
+        self.len += 1;
+    }
+
+    /// Place an entry at the level whose resolution covers its distance
+    /// from the cursor.
+    fn file(&mut self, tick: u64, entry: TimerEntry) {
+        let delta = tick - self.now_tick;
+        let level = if delta == 0 {
+            0
+        } else {
+            (((63 - delta.leading_zeros()) / SLOT_BITS) as usize).min(LEVELS - 1)
+        };
+        let slot = ((tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.buckets[level * SLOTS + slot].push(entry);
+    }
+
+    /// Move the wheel to `now`, pushing every entry whose bucket the
+    /// cursor reached **and** whose recorded instant is within the
+    /// reached tick onto `due`. Entries whose buckets were passed but
+    /// whose instant lies further out cascade to a finer level instead.
+    ///
+    /// The current tick's bucket is rescanned on every call so that
+    /// sub-tick deadlines (filed with `fires` inside the present tick)
+    /// are never stranded; the owning table's revalidation makes the
+    /// repeat delivery harmless.
+    pub fn advance(&mut self, now: SimTime, due: &mut Vec<TimerEntry>) {
+        let target = (now.as_nanos() >> self.shift).max(self.now_tick);
+        let mut cascade = std::mem::take(&mut self.scratch);
+        debug_assert!(cascade.is_empty());
+        for level in 0..LEVELS {
+            let lshift = SLOT_BITS * level as u32;
+            let old = self.now_tick >> lshift;
+            let new = target >> lshift;
+            // Inclusive range, capped at one full rotation.
+            let visits = (new - old + 1).min(SLOTS as u64);
+            for i in 0..visits {
+                let slot = ((old + i) & (SLOTS as u64 - 1)) as usize;
+                let bucket = &mut self.buckets[level * SLOTS + slot];
+                cascade.append(bucket);
+            }
+        }
+        self.now_tick = target;
+        for entry in cascade.drain(..) {
+            let tick = entry.fires.as_nanos() >> self.shift;
+            if tick <= target {
+                self.len -= 1;
+                due.push(entry);
+            } else {
+                self.file(tick, entry);
+            }
+        }
+        self.scratch = cascade;
+    }
+
+    /// Drop every filed entry without moving the cursor.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    fn drain(w: &mut TimerWheel, now: u64) -> Vec<u32> {
+        let mut due = Vec::new();
+        w.advance(t(now), &mut due);
+        let mut slots: Vec<u32> = due.iter().map(|e| e.slot).collect();
+        slots.sort_unstable();
+        slots
+    }
+
+    #[test]
+    fn due_entries_come_back_on_advance() {
+        let mut w = TimerWheel::new(10);
+        w.insert(t(5_000), 1, 0);
+        w.insert(t(9_000_000), 2, 0);
+        assert_eq!(drain(&mut w, 4_000), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, 6_000), vec![1]);
+        assert_eq!(drain(&mut w, 10_000_000), vec![2]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_deadlines_cascade_through_levels() {
+        let mut w = TimerWheel::new(10);
+        // ~4.4 s out: starts three levels up, must still fire exactly.
+        w.insert(t(4_400_000_000), 7, 3);
+        // Walk time forward in uneven hops; nothing fires early.
+        for now in [1_000_000, 700_000_000, 4_399_000_000] {
+            assert_eq!(drain(&mut w, now), Vec::<u32>::new(), "early at {now}");
+        }
+        let mut due = Vec::new();
+        w.advance(t(4_500_000_000), &mut due);
+        assert_eq!(due, vec![TimerEntry { fires: t(4_400_000_000), slot: 7, gen: 3 }]);
+    }
+
+    #[test]
+    fn one_shot_jump_across_everything_delivers_everything() {
+        let mut w = TimerWheel::new(10);
+        for i in 0..100u32 {
+            w.insert(t(u64::from(i) * 37_777 + 1), i, 0);
+        }
+        let got = drain(&mut w, 100 * 37_777 + 1);
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sub_tick_deadline_is_not_stranded() {
+        let mut w = TimerWheel::new(10);
+        // Cursor already at tick 3; a deadline inside tick 3 must still
+        // surface on the next advance, not be skipped forever.
+        assert_eq!(drain(&mut w, 3 << 10), Vec::<u32>::new());
+        w.insert(t((3 << 10) + 5), 9, 0);
+        assert_eq!(drain(&mut w, (3 << 10) + 500), vec![9]);
+    }
+
+    #[test]
+    fn past_deadline_files_into_current_tick() {
+        let mut w = TimerWheel::new(10);
+        assert_eq!(drain(&mut w, 1 << 20), Vec::<u32>::new());
+        w.insert(t(0), 4, 0); // already long past
+        assert_eq!(drain(&mut w, 1 << 20), vec![4]);
+    }
+
+    #[test]
+    fn clear_empties_without_moving_cursor() {
+        let mut w = TimerWheel::new(10);
+        w.insert(t(5_000), 1, 0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(drain(&mut w, 1 << 30), Vec::<u32>::new());
+    }
+}
