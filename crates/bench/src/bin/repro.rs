@@ -27,7 +27,7 @@
 //! ```
 
 use arppath_bench::experiments::{
-    e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation, e8_fattree,
+    e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation, e8_fattree, e9_congestion,
 };
 use arppath_bench::micro;
 use arppath_host::TrafficPattern;
@@ -116,14 +116,16 @@ fn main() {
     let selected: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
-    // Both flags only act on E8; warn instead of silently ignoring
-    // them when the selection excludes it.
-    if !want("e8") {
+    // Both flags only act on E8/E9; warn instead of silently ignoring
+    // them when the selection excludes both.
+    if !want("e8") && !want("e9") {
         if shards > 1 {
-            eprintln!("[repro] warning: --shards only affects e8, which is not selected");
+            eprintln!("[repro] warning: --shards only affects e8/e9, neither of which is selected");
         }
         if trace_out.is_some() {
-            eprintln!("[repro] warning: --trace-out only applies to e8, which is not selected");
+            eprintln!(
+                "[repro] warning: --trace-out only applies to e8/e9, neither of which is selected"
+            );
         }
     }
 
@@ -276,6 +278,62 @@ fn main() {
             let mut body = trace.join("\n");
             body.push('\n');
             std::fs::write(path, body).expect("write --trace-out file");
+        }
+    }
+
+    if want("e9") {
+        // Congestion sweep: modest host counts (closed-loop flows cost
+        // far more events per host than E8's open-loop blasts).
+        let ks: &[(usize, usize)] = if quick { &[(4, 2)] } else { &[(4, 4), (6, 4), (8, 4)] };
+        let e9_params = |&(k, hosts_per_edge): &(usize, usize)| e9_congestion::E9Params {
+            k,
+            hosts_per_edge,
+            segments: if quick { 16 } else { 32 },
+            shards,
+            ..Default::default()
+        };
+        let mut results = Vec::new();
+        let sweep_started = Instant::now();
+        for kh in ks {
+            let params = e9_params(kh);
+            eprintln!(
+                "[repro] running E9 (congested fabrics), k={}, {} hosts, {shards} shard(s)...",
+                params.k,
+                params.k * params.k / 2 * params.hosts_per_edge
+            );
+            let started = std::time::Instant::now();
+            results.push(e9_congestion::run(&params));
+            eprintln!(
+                "[repro] e9 k={} took {} ms (3 modes x 2 patterns, {shards} shard(s))",
+                params.k,
+                started.elapsed().as_millis()
+            );
+            wall_ms.push((format!("e9_k{}_ms", params.k), started.elapsed().as_secs_f64() * 1e3));
+        }
+        wall_ms.push(("e9_total_ms".into(), sweep_started.elapsed().as_secs_f64() * 1e3));
+        println!("{}", e9_congestion::table(&mut results).render_markdown());
+        for r in &results {
+            println!("{}", e9_congestion::depth_table(r).render_markdown());
+        }
+        println!(
+            "drop-tail drops, PFC pauses losslessly, infinite does neither: {}\n",
+            if e9_congestion::verify_congestion(&results) { "HOLDS" } else { "VIOLATED" }
+        );
+        if let Some(path) = &trace_out {
+            // The canonical E9 artifact: the first fabric's PFC hotspot
+            // delivery trace — the run where pause/resume frames cross
+            // shard cuts. Identical bytes regardless of --shards. When
+            // E8 also ran (and owns `path`), this goes to `path.e9`.
+            let e9_path = if want("e8") { format!("{path}.e9") } else { path.clone() };
+            eprintln!("[repro] capturing E9 delivery trace ({shards} shard(s)) -> {e9_path}");
+            let trace = e9_congestion::delivery_trace(
+                &e9_params(&ks[0]),
+                e9_congestion::QueueMode::Pfc,
+                TrafficPattern::Hotspot { hot_receivers: e9_params(&ks[0]).hot_receivers },
+            );
+            let mut body = trace.join("\n");
+            body.push('\n');
+            std::fs::write(&e9_path, body).expect("write --trace-out file");
         }
     }
 

@@ -13,7 +13,7 @@ use arppath::{ArpPathBridge, ArpPathConfig};
 use arppath_metrics::Table;
 use arppath_netfpga::{NetFpgaParams, NetFpgaSwitch};
 use arppath_netsim::{
-    Ctx, Device, LinkParams, NetworkBuilder, PortNo, SimDuration, SimTime, TimerToken,
+    Ctx, Device, LinkParams, NetworkBuilder, PortNo, QueuePolicy, SimDuration, SimTime, TimerToken,
 };
 use arppath_wire::{
     frame::WIRE_OVERHEAD, ArpPacket, EthernetFrame, IpProto, Ipv4Packet, MacAddr, Payload,
@@ -174,7 +174,7 @@ fn run_size(frame_len: usize, params: &E3Params) -> E3Row {
     let lp = LinkParams {
         bandwidth_bps: params.bandwidth_bps,
         propagation: SimDuration::ZERO,
-        queue_bytes: 1 << 20,
+        queue: QueuePolicy::drop_tail(1 << 20),
     };
     b.link(tx, 0, bridge, 0, lp);
     b.link(bridge, 1, rx, 0, lp);

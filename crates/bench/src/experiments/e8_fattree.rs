@@ -221,6 +221,17 @@ impl<'a> PathWalker<'a> {
         )
     }
 
+    /// Index the fabric adjacency of a sharded instantiation (E9 walks
+    /// learned paths on both engines through this).
+    pub fn new_sharded(topo: &'a ShardedTopology) -> Self {
+        Self::from_parts(
+            topo.bridge_nodes.len(),
+            &topo.bridge_nodes,
+            topo.bridge_links.iter().map(|&l| topo.net.link_endpoints(l)),
+            |ix| topo.arppath(ix),
+        )
+    }
+
     /// Index the fabric adjacency of either engine's instantiation.
     fn from_fabric(fabric: &'a Fabric) -> Self {
         Self::from_parts(

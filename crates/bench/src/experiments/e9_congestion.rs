@@ -1,0 +1,543 @@
+//! **E9 — congested fabrics: finite queues, PFC backpressure, and
+//! closed-loop flows.**
+//!
+//! E8 established that ARP-Path's race spreads load across a fat-tree's
+//! parallel cores when queues are infinite. This experiment asks what
+//! the paper's bridges do when the fabric *fills*: the same jittered
+//! fat-trees now carry sized go-back-N flows ([`FlowHost`]) under three
+//! port-queue regimes —
+//!
+//! * **infinite** — the E1–E8 default, drop-free and pause-free;
+//! * **drop-tail** — 16 KiB per port direction, overflow discards;
+//! * **PFC** — lossless pause/resume backpressure at the same 16 KiB
+//!   threshold (resume at 8 KiB).
+//!
+//! Per (k, pattern, mode) the harness reports flow-completion-time
+//! percentiles, retransmission and drop counts, pause accounting,
+//! queue-depth shape, and the race's core spread — so the table shows
+//! both *what congestion costs* (FCT tails under drop-tail, pause time
+//! under PFC) and *how ARP-Path's race-based path choice shifts when
+//! queues fill* (jain/core-spread per mode: under backpressure the race
+//! is decided by queueing delay, not just propagation jitter).
+//!
+//! Everything is a pure function of [`E9Params`]; same seed ⇒ identical
+//! tables, and the delivery trace is byte-identical between the
+//! single-threaded and sharded engines (`tests/sharded_equivalence.rs`
+//! pins it, pause frames crossing shard cuts included).
+
+use super::e8_fattree::PathWalker;
+use super::{host_ip, host_mac};
+use arppath::ArpPathConfig;
+use arppath_host::{pairings, FlowConfig, FlowHost, TrafficPattern};
+use arppath_metrics::{
+    jain_index, DiversityCounter, DropCounter, FctSummary, QueueDepthSeries, Table,
+};
+use arppath_netsim::{
+    DeliveryTracer, Dir, DirStats, Endpoint, LinkId, NetworkStats, NodeId, QueuePolicy,
+    SimDuration, SimTime,
+};
+use arppath_topo::{
+    generic, BridgeKind, BuiltTopology, FatTree, Partition, ShardedTopology, TopoBuilder,
+};
+use std::sync::{Arc, Mutex};
+
+/// Per-port-direction byte cap (drop-tail) and PFC pause threshold.
+const QUEUE_CAP_BYTES: usize = 16 * 1024;
+
+/// The queueing regime a fabric instance runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueMode {
+    /// Unbounded FIFOs — the E1–E8 baseline.
+    Infinite,
+    /// 16 KiB drop-tail per port direction.
+    DropTail,
+    /// PFC pause at 16 KiB, resume at 8 KiB — lossless.
+    Pfc,
+}
+
+impl QueueMode {
+    /// All three regimes, in report order.
+    pub const ALL: [QueueMode; 3] = [QueueMode::Infinite, QueueMode::DropTail, QueueMode::Pfc];
+
+    /// The link-level policy this mode stamps over the fabric.
+    pub fn policy(self) -> QueuePolicy {
+        match self {
+            QueueMode::Infinite => QueuePolicy::Infinite,
+            QueueMode::DropTail => QueuePolicy::drop_tail(QUEUE_CAP_BYTES),
+            QueueMode::Pfc => QueuePolicy::pfc(QUEUE_CAP_BYTES),
+        }
+    }
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueMode::Infinite => "infinite",
+            QueueMode::DropTail => "drop-tail",
+            QueueMode::Pfc => "pfc",
+        }
+    }
+}
+
+/// Parameters of one E9 run (one fabric size, all modes × patterns).
+#[derive(Debug, Clone, Copy)]
+pub struct E9Params {
+    /// Fat-tree arity (even).
+    pub k: usize,
+    /// Hosts attached per edge switch.
+    pub hosts_per_edge: usize,
+    /// Segments per flow (each host sends one sized flow).
+    pub segments: u64,
+    /// UDP payload bytes per segment.
+    pub segment_len: usize,
+    /// Workload + jitter seed.
+    pub seed: u64,
+    /// Hot receivers for the incast pattern.
+    pub hot_receivers: usize,
+    /// Worker threads; `1` = single-threaded engine, `≥ 2` = sharded
+    /// (rack-major, clamped to `k` like E8).
+    pub shards: usize,
+}
+
+impl Default for E9Params {
+    fn default() -> Self {
+        E9Params {
+            k: 4,
+            hosts_per_edge: 4,
+            segments: 32,
+            segment_len: 700,
+            seed: 0xE9,
+            hot_receivers: 2,
+            shards: 1,
+        }
+    }
+}
+
+/// One (pattern, mode) cell of the congestion study.
+#[derive(Debug, Clone)]
+pub struct E9Row {
+    /// `"permutation"` or `"hotspot"`.
+    pub pattern: &'static str,
+    /// Queueing regime label.
+    pub mode: &'static str,
+    /// Fat-tree arity.
+    pub k: usize,
+    /// Hosts attached (= flows offered).
+    pub hosts: usize,
+    /// Flow-completion times (incomplete-at-deadline counted apart).
+    pub fct: FctSummary,
+    /// Go-back-N retransmissions summed over all senders.
+    pub retransmits: u64,
+    /// Labelled drop counts fabric-wide.
+    pub drops: DropCounter,
+    /// Pause assertions observed across all link directions.
+    pub pause_events: u64,
+    /// Total paused time across all link directions, nanoseconds.
+    pub pause_time_ns: u64,
+    /// High-water queue depth across all link directions, bytes.
+    pub peak_queue_bytes: u64,
+    /// Fabric-wide queued bytes over time (single-engine runs; empty
+    /// when sharded — per-shard queues aren't sampled mid-run).
+    pub depth: QueueDepthSeries,
+    /// Distinct core switches crossed by at least one learned path.
+    pub distinct_cores: usize,
+    /// Core switches in the fabric.
+    pub total_cores: usize,
+    /// Jain fairness of per-core-link byte loads.
+    pub jain_core: f64,
+}
+
+/// Full E9 output for one fabric size: `patterns × modes` rows.
+#[derive(Debug, Clone)]
+pub struct E9Result {
+    /// Rows in (pattern, mode) order: permutation then hotspot, each
+    /// infinite/drop-tail/pfc.
+    pub rows: Vec<E9Row>,
+}
+
+enum Fabric {
+    Single(Box<BuiltTopology>),
+    Sharded(Box<ShardedTopology>),
+}
+
+impl Fabric {
+    fn run_until(&mut self, until: SimTime) {
+        match self {
+            Fabric::Single(b) => b.net.run_until(until),
+            Fabric::Sharded(s) => s.net.run_until(until),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            Fabric::Single(b) => b.net.now(),
+            Fabric::Sharded(s) => s.net.now(),
+        }
+    }
+
+    fn host_nodes(&self) -> &[NodeId] {
+        match self {
+            Fabric::Single(b) => &b.host_nodes,
+            Fabric::Sharded(s) => &s.host_nodes,
+        }
+    }
+
+    fn bridge_nodes(&self) -> &[NodeId] {
+        match self {
+            Fabric::Single(b) => &b.bridge_nodes,
+            Fabric::Sharded(s) => &s.bridge_nodes,
+        }
+    }
+
+    fn all_links(&self) -> Vec<LinkId> {
+        let (bl, hl) = match self {
+            Fabric::Single(b) => (&b.bridge_links, &b.host_links),
+            Fabric::Sharded(s) => (&s.bridge_links, &s.host_links),
+        };
+        bl.iter().chain(hl.iter()).copied().collect()
+    }
+
+    fn bridge_links(&self) -> &[LinkId] {
+        match self {
+            Fabric::Single(b) => &b.bridge_links,
+            Fabric::Sharded(s) => &s.bridge_links,
+        }
+    }
+
+    fn link_endpoints(&self, l: LinkId) -> (Endpoint, Endpoint) {
+        match self {
+            Fabric::Single(b) => {
+                let lk = b.net.link(l);
+                (lk.a, lk.b)
+            }
+            Fabric::Sharded(s) => s.net.link_endpoints(l),
+        }
+    }
+
+    fn link_stats(&self, l: LinkId, dir: Dir) -> DirStats {
+        match self {
+            Fabric::Single(b) => b.net.link(l).stats(dir),
+            Fabric::Sharded(s) => s.net.link_stats(l, dir),
+        }
+    }
+
+    /// Pause time including a still-open pause interval at `now` — a
+    /// deadlocked direction stays paused through the deadline and
+    /// would otherwise report zero.
+    fn link_paused_for(&self, l: LinkId, dir: Dir, now: SimTime) -> SimDuration {
+        match self {
+            Fabric::Single(b) => b.net.link(l).paused_for(dir, now),
+            Fabric::Sharded(s) => s.net.link_paused_for(l, dir, now),
+        }
+    }
+
+    fn stats(&self) -> NetworkStats {
+        match self {
+            Fabric::Single(b) => b.net.stats(),
+            Fabric::Sharded(s) => s.net.stats(),
+        }
+    }
+
+    fn flow_host(&self, node: NodeId) -> &FlowHost {
+        match self {
+            Fabric::Single(b) => b.net.device::<FlowHost>(node),
+            Fabric::Sharded(s) => s.net.device::<FlowHost>(node),
+        }
+    }
+}
+
+/// Lay out one E9 scenario: the E8 jittered fabric, one sized
+/// go-back-N flow per host, and the mode's queue policy stamped over
+/// every link (fabric cables and host attachments alike). Shared by
+/// the measurement run and the delivery-trace capture.
+fn scenario(
+    params: &E9Params,
+    mode: QueueMode,
+    pattern: TrafficPattern,
+) -> (TopoBuilder, FatTree, Vec<usize>, SimTime) {
+    let stations = params.k * params.k / 2 * params.hosts_per_edge;
+    let cfg = ArpPathConfig::default().with_expected_stations(stations);
+    let mut t = TopoBuilder::new(BridgeKind::ArpPath(cfg));
+    // Same jitter derivation as E8: one seed pins the whole scenario.
+    let ft = generic::fat_tree_jittered(&mut t, params.k, params.seed.wrapping_add(0xFA7));
+    let n = ft.host_capacity(params.hosts_per_edge);
+    let pairs = pairings(n, pattern, params.seed);
+
+    let warmup = SimDuration::millis(100);
+    // Tighter stagger than E8's open-loop workload: closed-loop flows
+    // are short (window-clocked), so congestion requires them to
+    // actually overlap. 11 µs still keeps ARP floods off one another's
+    // timestamps.
+    let stagger = SimDuration::micros(11);
+    for (i, &dst) in pairs.iter().enumerate() {
+        let id = (i + 1) as u32;
+        let cfg = FlowConfig {
+            target: Some(host_ip((dst + 1) as u32)),
+            start_at: warmup + stagger.times(i as u64),
+            segments: params.segments,
+            segment_len: params.segment_len,
+            rto: SimDuration::millis(5),
+            ..FlowConfig::default()
+        };
+        let host = FlowHost::new(format!("h{id}"), host_mac(id), host_ip(id), cfg);
+        t.host(ft.edge_of_host(i, params.hosts_per_edge), Box::new(host));
+    }
+    // Stamp the regime over everything declared above.
+    t.set_queue_policy(mode.policy());
+
+    // Horizon: enough for heavy go-back-N recovery under incast;
+    // stragglers are *counted* (FctSummary::incomplete), not hidden.
+    let deadline = warmup + stagger.times(n as u64) + SimDuration::millis(400);
+    (t, ft, pairs, SimTime(deadline.as_nanos()))
+}
+
+fn instantiate(params: &E9Params, t: TopoBuilder, ft: &FatTree, trace: bool) -> Fabric {
+    let shards = params.shards.min(ft.k);
+    if shards > 1 {
+        let hosts = ft.host_capacity(params.hosts_per_edge);
+        let partition = Partition::rack_major(ft, params.hosts_per_edge, hosts, shards);
+        Fabric::Sharded(Box::new(t.build_sharded(&partition, trace)))
+    } else {
+        Fabric::Single(Box::new(t.build()))
+    }
+}
+
+fn run_cell(
+    params: &E9Params,
+    mode: QueueMode,
+    pattern: TrafficPattern,
+    label: &'static str,
+) -> E9Row {
+    let (t, ft, pairs, deadline) = scenario(params, mode, pattern);
+    let n = pairs.len();
+    let mut fabric = instantiate(params, t, &ft, false);
+
+    // Drive the run in slices, sampling fabric-wide queued bytes on a
+    // fixed cadence (single-engine only; slicing is behaviorally
+    // identical to one run_until — the event order is unchanged).
+    let mut depth = QueueDepthSeries::new();
+    match &mut fabric {
+        Fabric::Single(b) => {
+            // A 16 KiB queue drains in ~131 us at 1 Gb/s, so the
+            // cadence must be well below that to see occupancy at all.
+            let tick = SimDuration::micros(50);
+            let links = [b.bridge_links.clone(), b.host_links.clone()].concat();
+            let mut at = SimTime(tick.as_nanos());
+            while at < deadline {
+                b.net.run_until(at);
+                let queued: u64 = links
+                    .iter()
+                    .flat_map(|&l| {
+                        [Dir::AtoB, Dir::BtoA].map(|d| b.net.link(l).queue_depth(d).1 as u64)
+                    })
+                    .sum();
+                depth.push(at.as_nanos(), queued);
+                at += tick;
+            }
+            b.net.run_until(deadline);
+        }
+        _ => fabric.run_until(deadline),
+    }
+    let now = fabric.now();
+
+    // Flow completion, per sender.
+    let mut fct = FctSummary::new();
+    let mut retransmits = 0u64;
+    for &h in fabric.host_nodes() {
+        let host = fabric.flow_host(h);
+        retransmits += host.retransmits;
+        match host.fct {
+            Some(d) => fct.record(d.as_nanos()),
+            None => fct.record_incomplete(),
+        }
+    }
+
+    // Drop + pause accounting.
+    let stats = fabric.stats();
+    let mut drops = DropCounter::new();
+    drops.add("queue_full", stats.drops_queue_full);
+    drops.add("link_down", stats.drops_link_down);
+    let mut pause_events = 0u64;
+    let mut pause_time_ns = 0u64;
+    let mut peak_queue_bytes = 0u64;
+    for l in fabric.all_links() {
+        for dir in [Dir::AtoB, Dir::BtoA] {
+            let s = fabric.link_stats(l, dir);
+            pause_events += s.pause_events;
+            pause_time_ns += fabric.link_paused_for(l, dir, now).as_nanos();
+            peak_queue_bytes = peak_queue_bytes.max(s.peak_queue_bytes);
+        }
+    }
+
+    // Core spread of the learned paths (the path-shift observable).
+    let core_nodes: Vec<NodeId> = ft.core.iter().map(|&c| fabric.bridge_nodes()[c.0]).collect();
+    let core_loads: Vec<f64> = fabric
+        .bridge_links()
+        .iter()
+        .filter_map(|&l| {
+            let (a, b) = fabric.link_endpoints(l);
+            let is_core = core_nodes.contains(&a.node) || core_nodes.contains(&b.node);
+            is_core.then(|| {
+                (fabric.link_stats(l, Dir::AtoB).tx_bytes
+                    + fabric.link_stats(l, Dir::BtoA).tx_bytes) as f64
+            })
+        })
+        .collect();
+    let mut diversity = DiversityCounter::new();
+    let walker = match &fabric {
+        Fabric::Single(b) => PathWalker::new(b),
+        Fabric::Sharded(s) => PathWalker::new_sharded(s),
+    };
+    for (i, &dst) in pairs.iter().enumerate() {
+        let from = ft.edge_of_host(i, params.hosts_per_edge);
+        let path = walker.walk(from, host_mac((dst + 1) as u32), now);
+        for b in &path {
+            if ft.is_core(*b) {
+                diversity.record(i as u64, b.0 as u64);
+            }
+        }
+    }
+
+    E9Row {
+        pattern: label,
+        mode: mode.label(),
+        k: params.k,
+        hosts: n,
+        fct,
+        retransmits,
+        drops,
+        pause_events,
+        pause_time_ns,
+        peak_queue_bytes,
+        depth,
+        distinct_cores: diversity.distinct_items(),
+        total_cores: ft.core.len(),
+        jain_core: jain_index(&core_loads),
+    }
+}
+
+/// The merged, timestamp-sorted delivery trace of one (mode, pattern)
+/// run — the byte-comparable artifact CI diffs between the
+/// single-threaded and sharded engines. With PFC this includes every
+/// pause/resume control frame's delivery, so the comparison also pins
+/// backpressure crossing shard cuts.
+pub fn delivery_trace(params: &E9Params, mode: QueueMode, pattern: TrafficPattern) -> Vec<String> {
+    let (t, ft, _pairs, deadline) = scenario(params, mode, pattern);
+    if params.shards > 1 {
+        let mut topo = match instantiate(params, t, &ft, true) {
+            Fabric::Sharded(s) => s,
+            Fabric::Single(_) => unreachable!("shards > 1 builds sharded"),
+        };
+        topo.net.run_until(deadline);
+        topo.net.delivery_trace()
+    } else {
+        let sink = Arc::new(Mutex::new(DeliveryTracer::new()));
+        let mut t = t;
+        t.set_tracer(Box::new(sink.clone()));
+        let mut built = t.build();
+        built.net.run_until(deadline);
+        let records = std::mem::take(&mut sink.lock().unwrap().records);
+        DeliveryTracer::render_sorted(records)
+    }
+}
+
+/// Run all modes × both patterns on one fabric size.
+pub fn run(params: &E9Params) -> E9Result {
+    let mut rows = Vec::new();
+    for (pattern, label) in [
+        (TrafficPattern::Permutation, "permutation"),
+        (TrafficPattern::Hotspot { hot_receivers: params.hot_receivers }, "hotspot"),
+    ] {
+        for mode in QueueMode::ALL {
+            rows.push(run_cell(params, mode, pattern, label));
+        }
+    }
+    E9Result { rows }
+}
+
+/// Render the congestion summary across fabric sizes.
+pub fn table(results: &mut [E9Result]) -> Table {
+    let mut t = Table::new(
+        "E9: congested fabrics — FCT, drops and pause time per queueing mode",
+        &[
+            "k",
+            "pattern",
+            "mode",
+            "flows",
+            "done",
+            "fct p50 (ms)",
+            "fct p99 (ms)",
+            "retx",
+            "drops",
+            "pause (ms)",
+            "peak q (B)",
+            "cores used",
+            "jain (core)",
+        ],
+    );
+    for result in results {
+        for r in &mut result.rows {
+            let done = if r.fct.incomplete() > 0 {
+                format!("{}/{}", r.fct.completed(), r.hosts)
+            } else {
+                r.fct.completed().to_string()
+            };
+            t.row(&[
+                r.k.to_string(),
+                r.pattern.to_string(),
+                r.mode.to_string(),
+                r.hosts.to_string(),
+                done,
+                format!("{:.3}", r.fct.percentile(50.0) as f64 / 1e6),
+                format!("{:.3}", r.fct.percentile(99.0) as f64 / 1e6),
+                r.retransmits.to_string(),
+                r.drops.get("queue_full").to_string(),
+                format!("{:.3}", r.pause_time_ns as f64 / 1e6),
+                r.peak_queue_bytes.to_string(),
+                format!("{}/{}", r.distinct_cores, r.total_cores),
+                format!("{:.3}", r.jain_core),
+            ]);
+        }
+    }
+    t
+}
+
+/// Render the queue-depth shape per mode for one fabric size (max and
+/// time-weighted mean of fabric-wide queued bytes; single-engine runs).
+pub fn depth_table(result: &E9Result) -> Table {
+    let k = result.rows.first().map(|r| r.k).unwrap_or(0);
+    let mut t = Table::new(
+        format!("E9: fabric-wide queued bytes over time, k={k}"),
+        &["pattern", "mode", "samples", "max (B)", "mean (B)", "time>cap (ms)"],
+    );
+    for r in &result.rows {
+        t.row(&[
+            r.pattern.to_string(),
+            r.mode.to_string(),
+            r.depth.len().to_string(),
+            r.depth.max_bytes().to_string(),
+            format!("{:.0}", r.depth.mean_bytes()),
+            format!("{:.3}", r.depth.time_above(QUEUE_CAP_BYTES as u64) as f64 / 1e6),
+        ]);
+    }
+    t
+}
+
+/// The acceptance gate: at the same offered load, per fabric size —
+///
+/// * the infinite baseline neither drops nor pauses,
+/// * drop-tail drops (the load is genuinely past the cap),
+/// * PFC drops **nothing** and its pause accounting is nonzero (the
+///   backpressure did the work the drops would have done).
+pub fn verify_congestion(results: &[E9Result]) -> bool {
+    results.iter().all(|result| {
+        let total = |mode: &str, f: &dyn Fn(&E9Row) -> u64| -> u64 {
+            result.rows.iter().filter(|r| r.mode == mode).map(f).sum()
+        };
+        let drops = |mode: &str| total(mode, &|r| r.drops.get("queue_full"));
+        drops("infinite") == 0
+            && total("infinite", &|r| r.pause_events) == 0
+            && drops("drop-tail") > 0
+            && drops("pfc") == 0
+            && total("pfc", &|r| r.pause_time_ns) > 0
+    })
+}

@@ -24,6 +24,7 @@ pub mod e5_load;
 pub mod e6_proxy;
 pub mod e7_ablation;
 pub mod e8_fattree;
+pub mod e9_congestion;
 
 use arppath_host::{PingConfig, PingHost};
 use arppath_netsim::{NodeId, SimDuration};

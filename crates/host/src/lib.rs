@@ -11,16 +11,21 @@
 //! * [`StreamServer`] / [`StreamClient`] — the video-streaming workload
 //!   behind experiment E2's path-repair measurements;
 //! * [`TrafficHost`] + [`workload::pairings`] — the seeded many-host
-//!   UDP workload behind experiment E8's fat-tree load-balance study.
+//!   UDP workload behind experiment E8's fat-tree load-balance study;
+//! * [`FlowHost`] — the closed-loop go-back-N flow sender/receiver with
+//!   flow-completion-time reporting behind experiment E9's congestion
+//!   study.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flow;
 pub mod ping;
 pub mod stack;
 pub mod stream;
 pub mod workload;
 
+pub use flow::{CongestionControl, FixedWindow, FlowConfig, FlowHost, RetxTimer};
 pub use ping::{PingConfig, PingHost};
 pub use stack::{HostCounters, HostStack, Upcall};
 pub use stream::{

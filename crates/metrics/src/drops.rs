@@ -1,0 +1,115 @@
+//! Labelled drop accounting.
+//!
+//! Congested fabrics lose frames for distinguishable reasons — queue
+//! overflow, dead links, uncabled ports — and E9's acceptance gate
+//! ("drop-tail drops, PFC doesn't") needs them kept apart, summed per
+//! mode, and merged across shards. A `BTreeMap` keeps the report order
+//! deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Drop counts keyed by a static reason label, deterministic iteration.
+///
+/// # Example
+///
+/// ```
+/// use arppath_metrics::DropCounter;
+///
+/// let mut d = DropCounter::new();
+/// d.add("queue_full", 3);
+/// d.add("link_down", 1);
+/// d.add("queue_full", 2);
+/// assert_eq!(d.get("queue_full"), 5);
+/// assert_eq!(d.total(), 6);
+/// assert_eq!(d.to_string(), "link_down=1 queue_full=5");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DropCounter {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl DropCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` drops under `label` (no-op entry is fine at n = 0 — the
+    /// label still appears in the report, which is what a "0 drops"
+    /// acceptance row wants).
+    pub fn add(&mut self, label: &'static str, n: u64) {
+        *self.counts.entry(label).or_insert(0) += n;
+    }
+
+    /// Count under one label (0 if never touched).
+    pub fn get(&self, label: &str) -> u64 {
+        self.counts.get(label).copied().unwrap_or(0)
+    }
+
+    /// Sum over all labels.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Fold another counter in, label-wise.
+    pub fn merge(&mut self, other: &DropCounter) {
+        for (label, n) in &other.counts {
+            *self.counts.entry(label).or_insert(0) += n;
+        }
+    }
+
+    /// Iterate `(label, count)` in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(&l, &n)| (l, n))
+    }
+}
+
+impl fmt::Display for DropCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counts.is_empty() {
+            return write!(f, "none");
+        }
+        let mut first = true;
+        for (label, n) in &self.counts {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{label}={n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_add_registers_the_label() {
+        let mut d = DropCounter::new();
+        d.add("queue_full", 0);
+        assert_eq!(d.get("queue_full"), 0);
+        assert_eq!(d.to_string(), "queue_full=0");
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn merge_is_label_wise_addition() {
+        let mut a = DropCounter::new();
+        a.add("x", 1);
+        let mut b = DropCounter::new();
+        b.add("x", 2);
+        b.add("y", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 7);
+        assert_eq!(a.total(), 10);
+    }
+
+    #[test]
+    fn empty_displays_as_none() {
+        assert_eq!(DropCounter::new().to_string(), "none");
+    }
+}

@@ -1,0 +1,143 @@
+//! Flow-completion-time aggregation.
+//!
+//! The congestion experiment's headline metric: each closed-loop flow
+//! reports one completion time, and a mode (infinite vs drop-tail vs
+//! PFC) is judged by the percentiles of that distribution — medians for
+//! the common case, p99 for the straggler tail that retransmission
+//! timeouts create. Flows that never finish inside the horizon are
+//! counted separately; silently dropping them would flatter the tail.
+
+use crate::latency::LatencyStats;
+
+/// Completion times of a population of flows, with the incomplete ones
+/// counted rather than ignored.
+///
+/// # Example
+///
+/// ```
+/// use arppath_metrics::FctSummary;
+///
+/// let mut s = FctSummary::new();
+/// for fct in [10, 20, 30, 40] {
+///     s.record(fct * 1_000_000);
+/// }
+/// s.record_incomplete();
+/// assert_eq!(s.completed(), 4);
+/// assert_eq!(s.incomplete(), 1);
+/// assert_eq!(s.percentile(50.0), 20_000_000);
+/// assert_eq!(s.percentile(99.0), 40_000_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FctSummary {
+    fcts: LatencyStats,
+    incomplete: u64,
+}
+
+impl FctSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed flow's FCT in nanoseconds.
+    pub fn record(&mut self, fct_ns: u64) {
+        self.fcts.record(fct_ns);
+    }
+
+    /// Record a flow that did not complete within the horizon.
+    pub fn record_incomplete(&mut self) {
+        self.incomplete += 1;
+    }
+
+    /// Completed-flow count.
+    pub fn completed(&self) -> u64 {
+        self.fcts.count() as u64
+    }
+
+    /// Flows that never finished.
+    pub fn incomplete(&self) -> u64 {
+        self.incomplete
+    }
+
+    /// Exact nearest-rank percentile over the *completed* flows, in
+    /// nanoseconds (0 when none completed). Same convention as
+    /// [`LatencyStats::percentile`].
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        self.fcts.percentile(p)
+    }
+
+    /// Mean FCT over completed flows, nanoseconds.
+    pub fn mean(&self) -> f64 {
+        self.fcts.mean()
+    }
+
+    /// Largest completed FCT, nanoseconds.
+    pub fn max(&self) -> u64 {
+        self.fcts.max()
+    }
+
+    /// Fold another population in (e.g. per-shard partials).
+    pub fn merge(&mut self, other: &FctSummary) {
+        self.fcts.merge(&other.fcts);
+        self.incomplete += other.incomplete;
+    }
+
+    /// `p50/p99/max ms` plus the incomplete count — the table cell E9
+    /// prints per (k, mode, pattern).
+    pub fn summary(&mut self) -> String {
+        if self.completed() == 0 {
+            return format!("none completed ({} incomplete)", self.incomplete);
+        }
+        let mut s = format!(
+            "n={} p50={:.3}ms p99={:.3}ms max={:.3}ms",
+            self.completed(),
+            self.percentile(50.0) as f64 / 1e6,
+            self.percentile(99.0) as f64 / 1e6,
+            self.max() as f64 / 1e6,
+        );
+        if self.incomplete > 0 {
+            s.push_str(&format!(" incomplete={}", self.incomplete));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_reports_cleanly() {
+        let mut s = FctSummary::new();
+        assert_eq!(s.completed(), 0);
+        assert_eq!(s.percentile(99.0), 0);
+        s.record_incomplete();
+        assert_eq!(s.summary(), "none completed (1 incomplete)");
+    }
+
+    #[test]
+    fn merge_folds_both_populations() {
+        let mut a = FctSummary::new();
+        a.record(100);
+        a.record_incomplete();
+        let mut b = FctSummary::new();
+        b.record(300);
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.completed(), 3);
+        assert_eq!(a.incomplete(), 1);
+        assert_eq!(a.max(), 300);
+        assert_eq!(a.percentile(50.0), 200);
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let mut s = FctSummary::new();
+        for v in [10, 20, 30, 40, 50] {
+            s.record(v);
+        }
+        // ceil(0.50 * 5) = rank 3 → 30; ceil(0.99 * 5) = rank 5 → 50.
+        assert_eq!(s.percentile(50.0), 30);
+        assert_eq!(s.percentile(99.0), 50);
+    }
+}

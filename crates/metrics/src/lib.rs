@@ -1,8 +1,9 @@
 //! Measurement utilities for the experiment harness: latency samples
 //! with exact percentiles, time series with gap analysis (video stall
 //! detection), fairness indices, utilization histograms, path-diversity
-//! counters, and plain-text table rendering for the tables in
-//! `docs/EXPERIMENTS.md`.
+//! counters, congestion observables (flow-completion-time summaries,
+//! queue-depth series, labelled drop counters), and plain-text table
+//! rendering for the tables in `docs/EXPERIMENTS.md`.
 //!
 //! Everything here is deliberately simple and exact — experiment scale
 //! is thousands of samples, so sorting beats approximate sketches and
@@ -32,15 +33,21 @@
 #![warn(missing_docs)]
 
 pub mod diversity;
+pub mod drops;
 pub mod fairness;
+pub mod fct;
 pub mod latency;
+pub mod queue;
 pub mod series;
 pub mod table;
 pub mod utilization;
 
 pub use diversity::DiversityCounter;
+pub use drops::DropCounter;
 pub use fairness::jain_index;
+pub use fct::FctSummary;
 pub use latency::LatencyStats;
+pub use queue::QueueDepthSeries;
 pub use series::TimeSeries;
 pub use table::Table;
 pub use utilization::UtilizationHistogram;

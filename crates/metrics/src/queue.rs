@@ -1,0 +1,116 @@
+//! Queue-depth-over-time observation.
+//!
+//! E9 samples every congested port's byte depth on a fixed cadence and
+//! wants three shapes out of the series: the high-water mark (did the
+//! fabric ever approach the cap?), the time-average depth (standing
+//! queue → standing latency), and the fraction of time above a
+//! threshold (how long the PFC pause gate was armed).
+
+/// Timestamped byte-depth samples for one queue, in sample order.
+///
+/// Timestamps are nanoseconds and must be non-decreasing (the
+/// simulator's single observer guarantees it).
+///
+/// # Example
+///
+/// ```
+/// use arppath_metrics::QueueDepthSeries;
+///
+/// let mut q = QueueDepthSeries::new();
+/// q.push(0, 0);
+/// q.push(100, 600);   // depth 0 held for [0, 100)
+/// q.push(300, 1200);  // depth 600 held for [100, 300)
+/// q.push(400, 0);     // depth 1200 held for [300, 400)
+/// assert_eq!(q.max_bytes(), 1200);
+/// assert_eq!(q.mean_bytes(), (600.0 * 200.0 + 1200.0 * 100.0) / 400.0);
+/// assert_eq!(q.time_above(500), 300);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueueDepthSeries {
+    samples: Vec<(u64, u64)>,
+}
+
+impl QueueDepthSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `depth_bytes` observed at `timestamp_ns`.
+    pub fn push(&mut self, timestamp_ns: u64, depth_bytes: u64) {
+        self.samples.push((timestamp_ns, depth_bytes));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw `(timestamp_ns, depth_bytes)` samples.
+    pub fn samples(&self) -> &[(u64, u64)] {
+        &self.samples
+    }
+
+    /// High-water mark across all samples (0 when empty).
+    pub fn max_bytes(&self) -> u64 {
+        self.samples.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Time-weighted mean depth: each sample's depth is held until the
+    /// next sample's timestamp (zero-order hold; the final sample has
+    /// no width). 0.0 with fewer than two samples.
+    pub fn mean_bytes(&self) -> f64 {
+        let span = match (self.samples.first(), self.samples.last()) {
+            (Some(&(t0, _)), Some(&(t1, _))) if t1 > t0 => (t1 - t0) as f64,
+            _ => return 0.0,
+        };
+        let weighted: f64 =
+            self.samples.windows(2).map(|w| w[0].1 as f64 * (w[1].0 - w[0].0) as f64).sum();
+        weighted / span
+    }
+
+    /// Nanoseconds spent strictly above `threshold_bytes` (zero-order
+    /// hold, final sample has no width).
+    pub fn time_above(&self, threshold_bytes: u64) -> u64 {
+        self.samples.windows(2).filter(|w| w[0].1 > threshold_bytes).map(|w| w[1].0 - w[0].0).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_is_all_zeros() {
+        let q = QueueDepthSeries::new();
+        assert!(q.is_empty());
+        assert_eq!(q.max_bytes(), 0);
+        assert_eq!(q.mean_bytes(), 0.0);
+        assert_eq!(q.time_above(0), 0);
+    }
+
+    #[test]
+    fn single_sample_has_no_width() {
+        let mut q = QueueDepthSeries::new();
+        q.push(100, 5000);
+        assert_eq!(q.max_bytes(), 5000);
+        assert_eq!(q.mean_bytes(), 0.0, "one instant carries no time weight");
+        assert_eq!(q.time_above(0), 0);
+    }
+
+    #[test]
+    fn time_above_is_strict_and_hold_based() {
+        let mut q = QueueDepthSeries::new();
+        q.push(0, 100);
+        q.push(10, 200);
+        q.push(30, 0);
+        // depth 100 for [0,10): not > 100. depth 200 for [10,30): > 100.
+        assert_eq!(q.time_above(100), 20);
+        assert_eq!(q.time_above(0), 30);
+    }
+}

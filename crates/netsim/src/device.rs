@@ -129,6 +129,17 @@ pub trait Device: Any + Send {
     /// administrative link changes scheduled by the harness.
     fn on_link_status(&mut self, _port: PortNo, _up: bool, _ctx: &mut Ctx) {}
 
+    /// Whether link-local control frames (PFC pause/resume, see
+    /// [`crate::pfc`]) should be handed to `on_frame` instead of being
+    /// intercepted by the engine. Standard devices never see them, like
+    /// a real NIC whose MAC consumes pause frames in hardware; the
+    /// sharded engine's boundary stubs override this so control frames
+    /// cross the shard cut as ordinary wire bytes and take effect in
+    /// the receiving shard.
+    fn forwards_control_frames(&self) -> bool {
+        false
+    }
+
     /// Downcast support: return `self`.
     fn as_any(&self) -> &dyn Any;
 

@@ -97,7 +97,8 @@
 
 use crate::calq::CalendarQueue;
 use crate::device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
-use crate::link::{Dir, Endpoint, Link, LinkId, LinkParams};
+use crate::link::{Admission, Dir, Endpoint, Link, LinkId, LinkParams};
+use crate::pfc::{self, PfcOp};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, Tracer};
 use arppath_wire::EthernetFrame;
@@ -457,12 +458,32 @@ impl Network {
                 self.dispatch(node, |dev, ctx| dev.on_timer(token, ctx));
             }
             EventKind::LinkAdmin { link, up } => self.on_link_admin(link, up),
-            EventKind::Inject { node, port, frame } => {
-                self.trace(TraceEvent::Delivered { node, port, frame: &frame });
-                self.stats.frames_delivered += 1;
-                self.dispatch(node, |dev, ctx| dev.on_frame(port, frame, ctx));
+            EventKind::Inject { node, port, frame } => self.on_inject(node, port, frame),
+        }
+    }
+
+    /// Injection is a delivery: it must pass the same admission checks
+    /// the `Deliver` path applies, or cross-shard ingress (which rides
+    /// on [`Network::inject_at`]) would silently bypass the destination
+    /// port's link state and PFC interception.
+    fn on_inject(&mut self, node: NodeId, port: PortNo, frame: EthernetFrame) {
+        if let Some((link_id, _)) = self.port_table[node.0].get(port.0).copied().flatten() {
+            if !self.links[link_id.0].up {
+                self.stats.drops_link_down += 1;
+                self.trace(TraceEvent::DropLinkDown { link: link_id, frame: &frame });
+                return;
             }
         }
+        self.stats.frames_delivered += 1;
+        self.trace(TraceEvent::Delivered { node, port, frame: &frame });
+        if let Some(op) = pfc::classify(&frame) {
+            let dev = self.devices[node.0].as_ref().expect("device in dispatch");
+            if !dev.forwards_control_frames() {
+                self.apply_pfc(node, port, op);
+                return;
+            }
+        }
+        self.dispatch(node, |dev, ctx| dev.on_frame(port, frame, ctx));
     }
 
     fn push_at(&mut self, time: SimTime, kind: EventKind) {
@@ -516,19 +537,82 @@ impl Network {
             self.trace(TraceEvent::DropLinkDown { link: link_id, frame: &frame });
             return;
         }
+        let sender = link.sender(dir);
         let state = &mut link.dirs[dir.index()];
-        if state.transmitting {
-            let len = frame.wire_len();
-            if state.queued_bytes + len > link.params.queue_bytes {
-                self.stats.drops_queue_full += 1;
-                link.dirs[dir.index()].stats.dropped_queue_full += 1;
-                self.trace(TraceEvent::DropQueueFull { link: link_id, dir, frame: &frame });
-                return;
+        if state.transmitting || state.paused {
+            match state.queue.try_enqueue(frame) {
+                Admission::Dropped(frame) => {
+                    self.stats.drops_queue_full += 1;
+                    state.stats.dropped_queue_full += 1;
+                    self.trace(TraceEvent::DropQueueFull { link: link_id, dir, frame: &frame });
+                }
+                Admission::Queued => {
+                    let depth = state.queue.bytes() as u64;
+                    state.stats.peak_queue_bytes = state.stats.peak_queue_bytes.max(depth);
+                    // PFC: crossing the pause threshold asserts pause
+                    // toward every device feeding this queue — i.e. out
+                    // of all the congested device's *other* ports.
+                    if !state.pause_asserted && state.queue.above_pause() {
+                        state.pause_asserted = true;
+                        self.emit_pfc(sender, PfcOp::Pause);
+                    }
+                }
             }
-            state.queued_bytes += len;
-            state.queue.push_back(frame);
         } else {
             self.start_tx(link_id, dir, frame);
+        }
+    }
+
+    /// Send a pause or resume frame out of every cabled port of
+    /// `at.node` except `at.port` (the congested egress itself — its
+    /// receiver is downstream of the congestion, not feeding it).
+    /// Port-index order keeps the emission deterministic.
+    fn emit_pfc(&mut self, at: Endpoint, op: PfcOp) {
+        let frame = match op {
+            PfcOp::Pause => pfc::pause_frame(),
+            PfcOp::Resume => pfc::resume_frame(),
+        };
+        let last = self.port_table[at.node.0].len();
+        for p in 0..last {
+            if p == at.port.0 || self.port_table[at.node.0][p].is_none() {
+                continue;
+            }
+            self.handle_send(at.node, PortNo(p), frame.clone());
+        }
+    }
+
+    /// Apply an intercepted pause/resume to the transmitter that sends
+    /// *out of* (`node`, `port`) — the direction back toward whoever
+    /// emitted the control frame.
+    fn apply_pfc(&mut self, node: NodeId, port: PortNo, op: PfcOp) {
+        let Some((link_id, dir)) = self.port_table[node.0].get(port.0).copied().flatten() else {
+            return;
+        };
+        let now = self.now;
+        let link = &mut self.links[link_id.0];
+        let state = &mut link.dirs[dir.index()];
+        match op {
+            PfcOp::Pause => {
+                if !state.paused {
+                    state.paused = true;
+                    state.pause_started = Some(now);
+                    state.stats.pause_events += 1;
+                }
+            }
+            PfcOp::Resume => {
+                if state.paused {
+                    state.paused = false;
+                    if let Some(started) = state.pause_started.take() {
+                        state.stats.paused_for =
+                            state.stats.paused_for + SimDuration::nanos(now.0 - started.0);
+                    }
+                    if !state.transmitting {
+                        if let Some(next) = state.queue.pop() {
+                            self.start_tx(link_id, dir, next);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -560,15 +644,26 @@ impl Network {
         }
         let when = self.now + prop;
         self.push_at(when, EventKind::Deliver { link: link_id, dir, epoch, frame });
-        // Pull the next queued frame into the transmitter.
+        // Pull the next queued frame into the transmitter — unless a
+        // pause frame halted this direction (the in-flight frame always
+        // finishes; the next one waits for resume).
         let link = &mut self.links[link_id.0];
         let state = &mut link.dirs[dir.index()];
-        if let Some(next) = state.queue.pop_front() {
-            state.queued_bytes -= next.wire_len();
-            state.transmitting = true;
+        if state.paused {
+            state.transmitting = false;
+        } else if let Some(next) = state.queue.pop() {
             self.start_tx(link_id, dir, next);
         } else {
             state.transmitting = false;
+        }
+        // PFC: a queue that drained back to the resume threshold
+        // releases its asserted pause.
+        let link = &mut self.links[link_id.0];
+        let sender = link.sender(dir);
+        let state = &mut link.dirs[dir.index()];
+        if state.pause_asserted && state.queue.below_resume() {
+            state.pause_asserted = false;
+            self.emit_pfc(sender, PfcOp::Resume);
         }
     }
 
@@ -582,6 +677,18 @@ impl Network {
         let Endpoint { node, port } = link.receiver(dir);
         self.stats.frames_delivered += 1;
         self.trace(TraceEvent::Delivered { node, port, frame: &frame });
+        // PFC control frames terminate at the port: the engine pauses or
+        // resumes the transmitter pointing back at the emitter, and the
+        // device never sees the frame. The one exception is a shard
+        // boundary stub, which must relay the frame across the cut so it
+        // takes effect in the shard that owns the real transmitter.
+        if let Some(op) = pfc::classify(&frame) {
+            let dev = self.devices[node.0].as_ref().expect("device in deliver");
+            if !dev.forwards_control_frames() {
+                self.apply_pfc(node, port, op);
+                return;
+            }
+        }
         self.dispatch(node, |dev, ctx| dev.on_frame(port, frame, ctx));
     }
 
@@ -594,15 +701,24 @@ impl Network {
         link.epoch += 1;
         let (a, b) = (link.a, link.b);
         if !up {
-            // Drain both transmit queues: those frames are lost.
+            // Drain both transmit queues: those frames are lost. Pause
+            // state dies with the carrier (a re-plugged link starts
+            // unpaused, like real hardware renegotiating flow control).
+            let now = self.now;
             for dir in [Dir::AtoB, Dir::BtoA] {
                 let state = &mut link.dirs[dir.index()];
-                let lost = state.queue.len() as u64;
+                let lost = state.queue.clear() as u64;
                 state.stats.dropped_link_down += lost;
                 self.stats.drops_link_down += lost;
-                state.queue.clear();
-                state.queued_bytes = 0;
                 state.transmitting = false;
+                state.pause_asserted = false;
+                if state.paused {
+                    state.paused = false;
+                    if let Some(started) = state.pause_started.take() {
+                        state.stats.paused_for =
+                            state.stats.paused_for + SimDuration::nanos(now.0 - started.0);
+                    }
+                }
             }
         }
         for ep in [a, b] {
@@ -622,6 +738,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::link::QueuePolicy;
     use crate::trace::{CollectingTracer, CountingTracer};
     use arppath_wire::{ArpPacket, MacAddr};
     use std::net::Ipv4Addr;
@@ -720,7 +837,7 @@ mod tests {
         let params = LinkParams {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::micros(1),
-            queue_bytes: 1 << 20,
+            queue: QueuePolicy::drop_tail(1 << 20),
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
@@ -739,7 +856,7 @@ mod tests {
         let params = LinkParams {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::ZERO,
-            queue_bytes: 1 << 20,
+            queue: QueuePolicy::drop_tail(1 << 20),
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 3 }));
@@ -760,7 +877,7 @@ mod tests {
         let params = LinkParams {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::ZERO,
-            queue_bytes: 60,
+            queue: QueuePolicy::drop_tail(60),
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 3 }));
@@ -777,7 +894,7 @@ mod tests {
         let params = LinkParams {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::micros(5),
-            queue_bytes: 1 << 20,
+            queue: QueuePolicy::drop_tail(1 << 20),
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
@@ -797,7 +914,7 @@ mod tests {
         let params = LinkParams {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::millis(1),
-            queue_bytes: 1 << 20,
+            queue: QueuePolicy::drop_tail(1 << 20),
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
@@ -934,6 +1051,106 @@ mod tests {
         let z = b.add(Box::new(Probe::new("z", false)));
         b.link(x, 0, y, 0, LinkParams::default());
         b.link(x, 0, z, 0, LinkParams::default());
+    }
+
+    /// A two-port device that relays port 0 → port 1 (and back).
+    struct Forwarder {
+        name: String,
+    }
+
+    impl Device for Forwarder {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn on_frame(&mut self, port: PortNo, frame: EthernetFrame, ctx: &mut Ctx) {
+            ctx.send(PortNo(1 - port.0), frame);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn infinite_queue_absorbs_any_burst() {
+        // The default policy is Infinite: a burst far beyond any
+        // plausible cap is fully delivered with zero drops.
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 500 }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        b.link(tx, 0, rx, 0, LinkParams::default());
+        let mut net = b.build();
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.stats().drops_queue_full, 0);
+        assert_eq!(net.device::<Probe>(rx).heard.len(), 500);
+    }
+
+    #[test]
+    fn pfc_backpressure_is_lossless_and_accounted() {
+        // Fast ingress into a slow PFC-guarded egress: the forwarder's
+        // egress queue crosses the pause threshold, a pause frame
+        // propagates back to the sender, the sender's transmitter
+        // stalls (losslessly — its own queue is infinite), and resume
+        // frames restart it as the slow port drains. Every frame must
+        // arrive, with zero drops and nonzero pause accounting.
+        let fast = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue: QueuePolicy::Infinite,
+        };
+        let slow = LinkParams {
+            bandwidth_bps: 10_000_000,
+            propagation: SimDuration::ZERO,
+            queue: QueuePolicy::pfc(150), // pause at ≥150 B, resume at ≤75 B
+        };
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 20 }));
+        let fwd = b.add(Box::new(Forwarder { name: "fwd".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        let l_fast = b.link(tx, 0, fwd, 0, fast);
+        b.link(fwd, 1, rx, 0, slow);
+        let mut net = b.build();
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.device::<Probe>(rx).heard.len(), 20, "PFC must be lossless");
+        assert_eq!(net.stats().drops_queue_full, 0);
+        // The paused transmitter is tx's side of the fast link.
+        let s = net.link(l_fast).stats(Dir::AtoB);
+        assert!(s.pause_events >= 1, "sender must have been paused");
+        assert!(s.paused_for > SimDuration::ZERO, "pause time must be accounted");
+        assert!(!net.link(l_fast).is_paused(Dir::AtoB), "drained fabric is unpaused");
+    }
+
+    #[test]
+    fn pause_frames_are_intercepted_not_delivered_to_devices() {
+        let (mut net, _na, nb, l) = two_probes(false, LinkParams::default());
+        // A pause frame arriving at b's port 0 must pause b's own
+        // transmitter on that link and never reach the device.
+        net.inject(nb, PortNo(0), crate::pfc::pause_frame());
+        net.run_until_idle(SimTime(u64::MAX));
+        assert!(net.link(l).is_paused(Dir::BtoA));
+        assert_eq!(net.device::<Probe>(nb).heard.len(), 0);
+        // Resume releases it and closes the pause-time accounting.
+        net.inject(nb, PortNo(0), crate::pfc::resume_frame());
+        net.run_until_idle(SimTime(u64::MAX));
+        assert!(!net.link(l).is_paused(Dir::BtoA));
+        assert_eq!(net.link(l).stats(Dir::BtoA).pause_events, 1);
+    }
+
+    #[test]
+    fn inject_respects_down_links() {
+        // Regression: `inject`/`inject_at` used to deliver regardless
+        // of the destination port's link state. A frame injected at a
+        // port whose cable is down must be dropped and counted.
+        let (mut net, _na, nb, l) = two_probes(false, LinkParams::default());
+        net.schedule_link_down(l, SimTime(0));
+        net.run_until_idle(SimTime(u64::MAX));
+        net.inject(nb, PortNo(0), test_frame());
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.device::<Probe>(nb).heard.len(), 0);
+        assert_eq!(net.stats().drops_link_down, 1);
+        assert_eq!(net.stats().frames_delivered, 0);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //!
 //! * **serialization** — `wire_bits / bandwidth` per frame per hop,
 //! * **propagation** — per-link constant,
-//! * **queueing** — FIFO drop-tail transmit queues per link direction,
+//! * **queueing** — FIFO transmit queues per link direction, unbounded
+//!   by default, with opt-in drop-tail caps or PFC pause/resume
+//!   backpressure (see [`QueuePolicy`] and [`pfc`]),
 //! * **store-and-forward** — a frame is handed to a device only when its
 //!   last bit has arrived.
 //!
@@ -49,6 +51,7 @@ pub mod calq;
 pub mod device;
 pub mod engine;
 pub mod link;
+pub mod pfc;
 pub mod sharded;
 pub mod time;
 pub mod trace;
@@ -56,7 +59,10 @@ pub mod trace;
 pub use calq::CalendarQueue;
 pub use device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
 pub use engine::{Network, NetworkBuilder, NetworkStats};
-pub use link::{Dir, DirStats, Endpoint, Link, LinkId, LinkParams};
+pub use link::{
+    Admission, Dir, DirStats, Endpoint, Link, LinkId, LinkParams, PortQueue, QueuePolicy,
+};
+pub use pfc::PfcOp;
 pub use sharded::{ShardStats, ShardedBuilder, ShardedNetwork};
 pub use time::{SimDuration, SimTime};
 pub use trace::{

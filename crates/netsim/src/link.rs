@@ -1,9 +1,10 @@
 //! Point-to-point full-duplex links with serialization, propagation and
-//! drop-tail queueing — the three delay terms whose sum the ARP race
-//! minimizes.
+//! configurable transmit queueing — the three delay terms whose sum the
+//! ARP race minimizes, plus the congestion machinery (finite queues,
+//! PFC pause/resume) that experiment E9 studies.
 
 use crate::device::{NodeId, PortNo};
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use arppath_wire::EthernetFrame;
 use std::collections::VecDeque;
 
@@ -41,6 +42,148 @@ impl Dir {
     }
 }
 
+/// Admission policy of a per-direction transmit queue.
+///
+/// `Infinite` is the default and preserves the repository's historical
+/// open-loop behaviour: every experiment table E1–E8 is produced with
+/// unbounded queues, so congestion never perturbs the ARP race unless a
+/// scenario opts in. The finite policies are the E9 congestion study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// Unbounded queue: frames are never dropped for lack of space.
+    #[default]
+    Infinite,
+    /// Drop-tail: a frame that would push the queue past either cap is
+    /// dropped at enqueue time and counted in
+    /// [`DirStats::dropped_queue_full`].
+    DropTail {
+        /// Capacity in bytes of queued frame data (wire length).
+        max_bytes: usize,
+        /// Capacity in frames.
+        max_frames: usize,
+    },
+    /// Priority-flow-control flavoured backpressure: the queue itself
+    /// is unbounded (lossless), but when its depth crosses
+    /// `pause_bytes` the engine synthesizes pause frames toward the
+    /// devices feeding it, and resume frames once it drains back to
+    /// `resume_bytes`.
+    Pfc {
+        /// Queue depth (bytes) at which pause is asserted.
+        pause_bytes: usize,
+        /// Queue depth (bytes) at or below which pause is released.
+        resume_bytes: usize,
+    },
+}
+
+impl QueuePolicy {
+    /// A drop-tail queue capped in bytes only.
+    pub fn drop_tail(max_bytes: usize) -> Self {
+        QueuePolicy::DropTail { max_bytes, max_frames: usize::MAX }
+    }
+
+    /// A PFC queue with the conventional hysteresis pair
+    /// (`resume = pause / 2`).
+    pub fn pfc(pause_bytes: usize) -> Self {
+        QueuePolicy::Pfc { pause_bytes, resume_bytes: pause_bytes / 2 }
+    }
+}
+
+/// Verdict of [`PortQueue::try_enqueue`]: either the frame was queued,
+/// or it is handed back so the caller can count and trace the drop.
+#[derive(Debug)]
+pub enum Admission {
+    /// The frame was accepted into the queue.
+    Queued,
+    /// The frame was refused (drop-tail cap); returned to the caller.
+    Dropped(EthernetFrame),
+}
+
+/// One direction's transmit queue, admission policy included.
+///
+/// This is the exact structure the engine uses inside [`Link`]; it is
+/// public so the drop-tail property suite
+/// (`crates/netsim/tests/queue_oracle.rs`) can exercise the real
+/// admission logic against a naive reference model.
+#[derive(Debug, Default)]
+pub struct PortQueue {
+    policy: QueuePolicy,
+    queue: VecDeque<EthernetFrame>,
+    bytes: usize,
+    peak_bytes: usize,
+}
+
+impl PortQueue {
+    /// An empty queue under `policy`.
+    pub fn new(policy: QueuePolicy) -> Self {
+        PortQueue { policy, ..Default::default() }
+    }
+
+    /// The admission policy.
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    /// Frames currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no frames are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Bytes of frame data (wire length) currently queued.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// High-water mark of [`Self::bytes`] over the queue's lifetime.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Admit `frame` under the policy, or hand it back.
+    pub fn try_enqueue(&mut self, frame: EthernetFrame) -> Admission {
+        let len = frame.wire_len();
+        if let QueuePolicy::DropTail { max_bytes, max_frames } = self.policy {
+            if self.bytes + len > max_bytes || self.queue.len() >= max_frames {
+                return Admission::Dropped(frame);
+            }
+        }
+        self.bytes += len;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        self.queue.push_back(frame);
+        Admission::Queued
+    }
+
+    /// Dequeue the frame at the head, if any.
+    pub fn pop(&mut self) -> Option<EthernetFrame> {
+        let frame = self.queue.pop_front()?;
+        self.bytes -= frame.wire_len();
+        Some(frame)
+    }
+
+    /// Drop every queued frame, returning how many were discarded.
+    pub fn clear(&mut self) -> usize {
+        let n = self.queue.len();
+        self.queue.clear();
+        self.bytes = 0;
+        n
+    }
+
+    /// True when a PFC policy says this depth warrants a pause.
+    pub fn above_pause(&self) -> bool {
+        matches!(self.policy, QueuePolicy::Pfc { pause_bytes, .. } if self.bytes >= pause_bytes)
+    }
+
+    /// True when a PFC policy says the queue has drained enough to
+    /// release an asserted pause.
+    pub fn below_resume(&self) -> bool {
+        matches!(self.policy, QueuePolicy::Pfc { resume_bytes, .. } if self.bytes <= resume_bytes)
+    }
+}
+
 /// Physical parameters of a link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkParams {
@@ -49,9 +192,8 @@ pub struct LinkParams {
     pub bandwidth_bps: u64,
     /// One-way propagation delay.
     pub propagation: SimDuration,
-    /// Transmit queue capacity per direction, in bytes of frame data
-    /// (drop-tail beyond this).
-    pub queue_bytes: usize,
+    /// Transmit queue admission policy, per direction.
+    pub queue: QueuePolicy,
 }
 
 impl Default for LinkParams {
@@ -60,9 +202,7 @@ impl Default for LinkParams {
             bandwidth_bps: 1_000_000_000,
             // A few metres of copper patch in the demo rack.
             propagation: SimDuration::nanos(500),
-            // 128 KiB — in the ballpark of one NetFPGA output queue's
-            // share of the 4 MB SRAM.
-            queue_bytes: 128 * 1024,
+            queue: QueuePolicy::Infinite,
         }
     }
 }
@@ -71,6 +211,11 @@ impl LinkParams {
     /// A 1 Gbit/s link with the given propagation delay.
     pub fn gigabit(propagation: SimDuration) -> Self {
         LinkParams { propagation, ..Default::default() }
+    }
+
+    /// The same link with the given queue policy.
+    pub fn with_queue(self, queue: QueuePolicy) -> Self {
+        LinkParams { queue, ..self }
     }
 
     /// The same link with its propagation delay stripped. The sharded
@@ -103,7 +248,7 @@ pub struct Endpoint {
 }
 
 /// Per-direction transmit counters, exposed for the load-distribution
-/// experiment (E5) and utilization reports.
+/// experiment (E5), utilization reports and the E9 congestion tables.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DirStats {
     /// Frames fully transmitted.
@@ -116,6 +261,12 @@ pub struct DirStats {
     pub dropped_link_down: u64,
     /// Accumulated busy time of the transmitter.
     pub busy: SimDuration,
+    /// Times this transmitter was halted by a PFC pause frame.
+    pub pause_events: u64,
+    /// Accumulated time this transmitter spent pause-halted.
+    pub paused_for: SimDuration,
+    /// High-water mark of the transmit queue, in bytes.
+    pub peak_queue_bytes: u64,
 }
 
 /// One direction's transmit state.
@@ -123,10 +274,16 @@ pub struct DirStats {
 pub(crate) struct DirState {
     /// Frame currently being serialized, if any.
     pub transmitting: bool,
-    /// Frames awaiting the transmitter.
-    pub queue: VecDeque<EthernetFrame>,
-    /// Bytes held in `queue`.
-    pub queued_bytes: usize,
+    /// Frames awaiting the transmitter, under the link's queue policy.
+    pub queue: PortQueue,
+    /// Transmitter halted by a pause frame from the downstream device.
+    /// An in-flight frame finishes; the next one waits for resume.
+    pub paused: bool,
+    /// When the current pause began (for `DirStats::paused_for`).
+    pub pause_started: Option<SimTime>,
+    /// This direction's queue has an unreleased pause asserted toward
+    /// the devices feeding it (PFC policy only).
+    pub pause_asserted: bool,
     /// Counters.
     pub stats: DirStats,
 }
@@ -151,7 +308,8 @@ pub struct Link {
 
 impl Link {
     pub(crate) fn new(a: Endpoint, b: Endpoint, params: LinkParams) -> Self {
-        Link { a, b, params, up: true, epoch: 0, dirs: [DirState::default(), DirState::default()] }
+        let dir = || DirState { queue: PortQueue::new(params.queue), ..Default::default() };
+        Link { a, b, params, up: true, epoch: 0, dirs: [dir(), dir()] }
     }
 
     /// The endpoint a frame travelling in `dir` arrives at.
@@ -173,6 +331,31 @@ impl Link {
     /// Counters for one direction.
     pub fn stats(&self, dir: Dir) -> DirStats {
         self.dirs[dir.index()].stats
+    }
+
+    /// Current depth of one direction's transmit queue as
+    /// `(frames, bytes)` — the E9 queue-depth sampler's source.
+    pub fn queue_depth(&self, dir: Dir) -> (usize, usize) {
+        let q = &self.dirs[dir.index()].queue;
+        (q.len(), q.bytes())
+    }
+
+    /// True while `dir`'s transmitter is halted by a pause frame.
+    pub fn is_paused(&self, dir: Dir) -> bool {
+        self.dirs[dir.index()].paused
+    }
+
+    /// Accumulated pause-halt time of `dir` as of `now`, *including* a
+    /// still-open pause interval. `DirStats::paused_for` alone only
+    /// counts closed intervals, which undercounts links that are still
+    /// paused when the run ends (a persistently back-pressured or
+    /// deadlocked fabric).
+    pub fn paused_for(&self, dir: Dir, now: SimTime) -> SimDuration {
+        let d = &self.dirs[dir.index()];
+        match (d.paused, d.pause_started) {
+            (true, Some(started)) => d.stats.paused_for + SimDuration::nanos(now.0 - started.0),
+            _ => d.stats.paused_for,
+        }
     }
 
     /// Combined counters of both directions.
@@ -240,5 +423,58 @@ mod tests {
         let b = Endpoint { node: NodeId(1), port: PortNo(0) };
         let link = Link::new(a, b, LinkParams::default());
         assert_eq!(link.peak_utilization(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn infinite_queue_never_refuses() {
+        let mut q = PortQueue::new(QueuePolicy::Infinite);
+        for _ in 0..1000 {
+            assert!(matches!(q.try_enqueue(min_frame()), Admission::Queued));
+        }
+        assert_eq!(q.len(), 1000);
+        assert_eq!(q.bytes(), 1000 * min_frame().wire_len());
+        assert_eq!(q.peak_bytes(), q.bytes());
+    }
+
+    #[test]
+    fn drop_tail_enforces_byte_cap() {
+        // Each min frame is 60 wire-length bytes: two fit under 120,
+        // the third is refused and handed back intact.
+        let len = min_frame().wire_len();
+        let mut q = PortQueue::new(QueuePolicy::drop_tail(2 * len));
+        assert!(matches!(q.try_enqueue(min_frame()), Admission::Queued));
+        assert!(matches!(q.try_enqueue(min_frame()), Admission::Queued));
+        match q.try_enqueue(min_frame()) {
+            Admission::Dropped(f) => assert_eq!(f.wire_len(), len),
+            Admission::Queued => panic!("third frame must be refused"),
+        }
+        assert_eq!(q.bytes(), 2 * len);
+        q.pop().unwrap();
+        assert!(matches!(q.try_enqueue(min_frame()), Admission::Queued));
+    }
+
+    #[test]
+    fn drop_tail_enforces_frame_cap() {
+        let mut q = PortQueue::new(QueuePolicy::DropTail { max_bytes: usize::MAX, max_frames: 3 });
+        for _ in 0..3 {
+            assert!(matches!(q.try_enqueue(min_frame()), Admission::Queued));
+        }
+        assert!(matches!(q.try_enqueue(min_frame()), Admission::Dropped(_)));
+    }
+
+    #[test]
+    fn pfc_thresholds_have_hysteresis() {
+        let len = min_frame().wire_len(); // 60
+        let mut q = PortQueue::new(QueuePolicy::Pfc { pause_bytes: 2 * len, resume_bytes: len });
+        assert!(!q.above_pause());
+        q.try_enqueue(min_frame());
+        assert!(!q.above_pause());
+        assert!(q.below_resume());
+        q.try_enqueue(min_frame());
+        assert!(q.above_pause());
+        assert!(!q.below_resume());
+        q.pop();
+        assert!(!q.above_pause());
+        assert!(q.below_resume());
     }
 }

@@ -191,6 +191,14 @@ impl Device for BoundaryStub {
         self.outbox.lock().expect("outbox poisoned").push(msg);
     }
 
+    /// PFC pause/resume frames must cross the cut as ordinary wire
+    /// bytes and be intercepted in the *receiving* shard, where the
+    /// transmitter they halt (the reverse half-link) lives — so the
+    /// stub opts out of engine-side interception.
+    fn forwards_control_frames(&self) -> bool {
+        true
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -569,6 +577,24 @@ impl ShardedNetwork {
                     Dir::BtoA => b_half,
                 };
                 self.shards[shard].net.link(local).stats(Dir::AtoB)
+            }
+        }
+    }
+
+    /// Accumulated pause-halt time of one direction of a global link
+    /// as of `now`, including a still-open pause interval (see
+    /// [`crate::link::Link::paused_for`]).
+    pub fn link_paused_for(&self, id: LinkId, dir: Dir, now: SimTime) -> SimDuration {
+        match self.links[id.0].home {
+            LinkHome::Intra { shard, local } => {
+                self.shards[shard].net.link(local).paused_for(dir, now)
+            }
+            LinkHome::Cross { a_half, b_half } => {
+                let (shard, local) = match dir {
+                    Dir::AtoB => a_half,
+                    Dir::BtoA => b_half,
+                };
+                self.shards[shard].net.link(local).paused_for(Dir::AtoB, now)
             }
         }
     }

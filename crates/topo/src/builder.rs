@@ -12,8 +12,8 @@ use crate::partition::Partition;
 use arppath::{ArpPathBridge, ArpPathConfig};
 use arppath_netfpga::{NetFpgaParams, NetFpgaSwitch};
 use arppath_netsim::{
-    Device, LinkId, LinkParams, Network, NetworkBuilder, NodeId, ShardedBuilder, ShardedNetwork,
-    Tracer,
+    Device, LinkId, LinkParams, Network, NetworkBuilder, NodeId, QueuePolicy, ShardedBuilder,
+    ShardedNetwork, Tracer,
 };
 use arppath_stp::{StpBridge, StpConfig};
 use arppath_switch::{IdealSwitch, LearningConfig, LearningSwitch, SwitchCounters};
@@ -118,6 +118,21 @@ impl TopoBuilder {
     /// Install a tracer that observes the network from t=0.
     pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
         self.tracer = Some(tracer);
+    }
+
+    /// Re-queue every link declared *so far* — bridge cables and host
+    /// attachments alike — under `queue`, keeping each link's bandwidth
+    /// and propagation. This is how E9 instantiates one jittered
+    /// fat-tree plan per queueing mode: describe the fabric once, then
+    /// stamp `Infinite`, `DropTail`, or `Pfc` over it. Links added
+    /// afterwards keep their own parameters.
+    pub fn set_queue_policy(&mut self, queue: QueuePolicy) {
+        for (_, _, params) in &mut self.bridge_links {
+            *params = params.with_queue(queue);
+        }
+        for h in &mut self.hosts {
+            h.params = h.params.with_queue(queue);
+        }
     }
 
     /// Number of bridges declared so far.
@@ -486,6 +501,22 @@ mod tests {
         assert_eq!(built.stp(a).bridge_id().priority, 0x1000);
         assert!(built.stp(a).is_root(), "low priority bridge must win election");
         assert!(!built.stp(b).is_root());
+    }
+
+    #[test]
+    fn queue_policy_stamps_links_declared_so_far() {
+        let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
+        let a = t.bridge("A");
+        let b = t.bridge("B");
+        t.connect(a, b);
+        t.set_queue_policy(QueuePolicy::drop_tail(4096));
+        let c = t.bridge("C");
+        t.connect(b, c); // declared after the stamp: keeps its default
+        let built = t.build();
+        let ab = built.link_between(a, b).unwrap();
+        let bc = built.link_between(b, c).unwrap();
+        assert_eq!(built.net.link(ab).params.queue, QueuePolicy::drop_tail(4096));
+        assert_eq!(built.net.link(bc).params.queue, QueuePolicy::Infinite);
     }
 
     #[test]

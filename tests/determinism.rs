@@ -3,7 +3,8 @@
 //! in `docs/EXPERIMENTS.md` is therefore exactly reproducible.
 
 use arppath::ArpPathConfig;
-use arppath_host::{PingConfig, PingHost};
+use arppath_bench::experiments::e9_congestion::{self, E9Params, QueueMode};
+use arppath_host::{PingConfig, PingHost, TrafficPattern};
 use arppath_netsim::{CollectingTracer, SimDuration, SimTime};
 use arppath_topo::{BridgeKind, Fig2, TopoBuilder};
 use arppath_wire::MacAddr;
@@ -72,4 +73,22 @@ fn different_scenarios_diverge() {
     let (a, _, _) = run_fig2_scenario(false);
     let (b, _, _) = run_fig2_scenario(true);
     assert_ne!(a, b, "the tracer must actually observe the failure");
+}
+
+#[test]
+fn e9_congested_runs_are_seed_stable() {
+    // E9 adds two new event sources on top of E8's fabric — queue
+    // admission drops and PFC pause/resume control frames — and both
+    // must replay bit-identically from the seed.
+    let params =
+        |seed| E9Params { k: 4, hosts_per_edge: 2, segments: 8, seed, ..Default::default() };
+    for mode in [QueueMode::DropTail, QueueMode::Pfc] {
+        let pattern = TrafficPattern::Hotspot { hot_receivers: 2 };
+        let a = e9_congestion::delivery_trace(&params(0xE9), mode, pattern);
+        let b = e9_congestion::delivery_trace(&params(0xE9), mode, pattern);
+        assert!(!a.is_empty(), "{mode:?}: congested scenario must produce traffic");
+        assert_eq!(a, b, "{mode:?}: identical seeds diverged");
+        let c = e9_congestion::delivery_trace(&params(7), mode, pattern);
+        assert_ne!(a, c, "{mode:?}: the seed must actually steer the workload");
+    }
 }

@@ -12,6 +12,7 @@
 
 use arppath::ArpPathConfig;
 use arppath_bench::experiments::e8_fattree::{self, E8Params};
+use arppath_bench::experiments::e9_congestion::{self, E9Params, QueueMode};
 use arppath_host::{PingConfig, PingHost, TrafficPattern};
 use arppath_netsim::{DeliveryTracer, NetworkStats, SimDuration, SimTime};
 use arppath_topo::{BridgeKind, Fig1, Fig2, Partition, TopoBuilder};
@@ -164,6 +165,26 @@ fn hotspot_pattern_is_trace_identical_too() {
     let reference = e8_fattree::delivery_trace(&params(1), pattern);
     let trace = e8_fattree::delivery_trace(&params(2), pattern);
     assert_eq!(trace, reference, "hotspot delivery trace diverged");
+}
+
+#[test]
+fn congested_queues_and_pfc_are_trace_identical_across_shards() {
+    // E9's finite-queue regimes stress exactly what the conservative
+    // lookahead must not reorder: admission drops depend on queue
+    // occupancy at enqueue time, and PFC pause frames are *wire bytes*
+    // that cross shard cuts (the boundary stub forwards them) before
+    // halting a transmitter on the far side. One early or late frame
+    // flips a drop or a pause edge, so byte-identity here pins the
+    // whole backpressure machinery.
+    let params =
+        |shards| E9Params { k: 4, hosts_per_edge: 2, segments: 8, shards, ..Default::default() };
+    let pattern = TrafficPattern::Hotspot { hot_receivers: 2 };
+    for mode in [QueueMode::DropTail, QueueMode::Pfc] {
+        let reference = e9_congestion::delivery_trace(&params(1), mode, pattern);
+        assert!(!reference.is_empty(), "{mode:?}: scenario must produce traffic");
+        let trace = e9_congestion::delivery_trace(&params(2), mode, pattern);
+        assert_eq!(trace, reference, "{mode:?}: congested delivery trace diverged at 2 shards");
+    }
 }
 
 #[test]
