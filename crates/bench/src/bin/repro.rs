@@ -6,6 +6,8 @@
 //! cargo run --release -p arppath-bench --bin repro -- --quick # small params
 //! cargo run --release -p arppath-bench --bin repro -- e8 --shards 4
 //! cargo run --release -p arppath-bench --bin repro -- e8 --quick --trace-out e8.trace
+//! cargo run --release -p arppath-bench --bin repro -- --incast-gate
+//! cargo run --release -p arppath-bench --bin repro -- e9 --e9-watchdog-ms 0 --e9-cc fixed
 //! ```
 //!
 //! Output is the markdown tables described in `docs/EXPERIMENTS.md`.
@@ -15,15 +17,23 @@
 //! fabric's permutation run — CI diffs a sharded trace against a
 //! single-threaded one to hold the equivalence contract.
 //!
+//! `--incast-gate` runs just the k=8 PFC incast cells (the scenario
+//! that deadlocked before the pause watchdog existed) and exits
+//! nonzero unless every flow completes with zero drops.
+//! `--e9-watchdog-ms N` overrides the PFC pause-watchdog deadline
+//! (0 disables it); `--e9-cc fixed|aimd|both` restricts E9's
+//! congestion-controller axis.
+//!
 //! `--bench-json FILE` additionally writes the machine-readable bench
 //! trajectory (schema documented in `BASELINES.md`): per-experiment
-//! wall clocks plus the fast-table micro medians. The committed
-//! `BENCH_PR5.json` is one of these files; CI re-captures a quick one
-//! and gates it with the `bench-guard` subcommand:
+//! wall clocks, the quick E9 incast guard (with its per-controller
+//! FCT p99s), plus the fast-table micro medians. The committed
+//! `BENCH_PR5.json`/`BENCH_PR7.json` are such files; CI re-captures a
+//! quick one and gates it with the `bench-guard` subcommand:
 //!
 //! ```text
-//! repro -- bench-guard --baseline BENCH_PR5.json --current ci.json \
-//!     --key e8_quick_ms --max-ratio 2
+//! repro -- bench-guard --baseline BENCH_PR7.json --current ci.json \
+//!     --key e9_incast_quick_ms --max-ratio 2
 //! ```
 
 use arppath_bench::experiments::{
@@ -31,7 +41,7 @@ use arppath_bench::experiments::{
 };
 use arppath_bench::micro;
 use arppath_host::TrafficPattern;
-use arppath_netsim::SimDuration;
+use arppath_netsim::{PauseWatchdog, SimDuration};
 use std::time::Instant;
 
 /// Extract the number following `"key":` in a (flat-keyed) JSON text.
@@ -112,10 +122,61 @@ fn main() {
         .unwrap_or(1);
     assert!(shards >= 1, "--shards must be at least 1");
     let trace_out = take_value(&mut args, "--trace-out");
+    // E9 knobs: `--e9-watchdog-ms N` overrides the PFC pause-watchdog
+    // deadline (0 disables it — reproduces the PR-6 incast deadlock);
+    // `--e9-cc fixed|aimd|both` restricts the controller axis.
+    let e9_watchdog: Option<u64> = take_value(&mut args, "--e9-watchdog-ms")
+        .map(|v| v.parse().expect("--e9-watchdog-ms expects milliseconds"));
+    let e9_ccs: Vec<e9_congestion::CcMode> = match take_value(&mut args, "--e9-cc").as_deref() {
+        None | Some("both") => e9_congestion::CcMode::ALL.to_vec(),
+        Some("fixed") => vec![e9_congestion::CcMode::Fixed],
+        Some("aimd") => vec![e9_congestion::CcMode::Aimd],
+        Some(other) => panic!("--e9-cc expects fixed|aimd|both, got {other}"),
+    };
+    let e9_watchdog_param = |default: PauseWatchdog| match e9_watchdog {
+        Some(0) => PauseWatchdog::Off,
+        Some(ms) => PauseWatchdog::force_resume(SimDuration::millis(ms)),
+        None => default,
+    };
+    let incast_gate = args.iter().any(|a| a == "--incast-gate");
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    if incast_gate {
+        // CI's tentpole gate, run in isolation: the k=8 PFC incast that
+        // deadlocked before PR 7, now required to finish every flow
+        // with zero drops under the pause watchdog (fires are fine —
+        // they are the mechanism, and the table reports them).
+        let mut params = e9_congestion::E9Params {
+            k: 8,
+            hosts_per_edge: 4,
+            segments: 16,
+            shards,
+            ..Default::default()
+        };
+        params.watchdog = e9_watchdog_param(params.watchdog);
+        let pattern = TrafficPattern::Hotspot { hot_receivers: params.hot_receivers };
+        eprintln!(
+            "[repro] incast gate: E9 k=8 hotspot, {} hosts, PFC + watchdog, {shards} shard(s)...",
+            params.k * params.k / 2 * params.hosts_per_edge
+        );
+        let started = Instant::now();
+        let rows = e9_ccs
+            .iter()
+            .map(|&cc| e9_congestion::run_cell(&params, e9_congestion::QueueMode::Pfc, cc, pattern))
+            .collect();
+        let results = [e9_congestion::E9Result { rows }];
+        eprintln!("[repro] incast gate took {} ms", started.elapsed().as_millis());
+        println!("{}", e9_congestion::table(&results).render_markdown());
+        let ok = e9_congestion::verify_pfc_lossless_completion(&results);
+        println!(
+            "incast k=8 under PFC + watchdog, all flows complete with zero drops: {}",
+            if ok { "HOLDS" } else { "VIOLATED" }
+        );
+        std::process::exit(if ok { 0 } else { 1 });
+    }
     // Both flags only act on E8/E9; warn instead of silently ignoring
     // them when the selection excludes both.
     if !want("e8") && !want("e9") {
@@ -137,11 +198,11 @@ fn main() {
         } else {
             Default::default()
         };
-        let mut result = e1_latency::run(&params);
-        println!("{}", e1_latency::table(&mut result).render_markdown());
+        let result = e1_latency::run(&params);
+        println!("{}", e1_latency::table(&result).render_markdown());
         println!(
             "headline (ARP-Path ≤ every STP placement, < worst): {}\n",
-            if e1_latency::verify_headline(&mut result) { "HOLDS" } else { "VIOLATED" }
+            if e1_latency::verify_headline(&result) { "HOLDS" } else { "VIOLATED" }
         );
         wall_ms.push(("e1_ms".into(), started.elapsed().as_secs_f64() * 1e3));
     }
@@ -285,12 +346,16 @@ fn main() {
         // Congestion sweep: modest host counts (closed-loop flows cost
         // far more events per host than E8's open-loop blasts).
         let ks: &[(usize, usize)] = if quick { &[(4, 2)] } else { &[(4, 4), (6, 4), (8, 4)] };
-        let e9_params = |&(k, hosts_per_edge): &(usize, usize)| e9_congestion::E9Params {
-            k,
-            hosts_per_edge,
-            segments: if quick { 16 } else { 32 },
-            shards,
-            ..Default::default()
+        let e9_params = |&(k, hosts_per_edge): &(usize, usize)| {
+            let mut params = e9_congestion::E9Params {
+                k,
+                hosts_per_edge,
+                segments: if quick { 16 } else { 32 },
+                shards,
+                ..Default::default()
+            };
+            params.watchdog = e9_watchdog_param(params.watchdog);
+            params
         };
         let mut results = Vec::new();
         let sweep_started = Instant::now();
@@ -302,23 +367,45 @@ fn main() {
                 params.k * params.k / 2 * params.hosts_per_edge
             );
             let started = std::time::Instant::now();
-            results.push(e9_congestion::run(&params));
+            results.push(e9_congestion::run_with(&params, &e9_ccs));
             eprintln!(
-                "[repro] e9 k={} took {} ms (3 modes x 2 patterns, {shards} shard(s))",
+                "[repro] e9 k={} took {} ms (3 modes x 2 patterns x {} cc, {shards} shard(s))",
                 params.k,
-                started.elapsed().as_millis()
+                started.elapsed().as_millis(),
+                e9_ccs.len()
             );
             wall_ms.push((format!("e9_k{}_ms", params.k), started.elapsed().as_secs_f64() * 1e3));
         }
         wall_ms.push(("e9_total_ms".into(), sweep_started.elapsed().as_secs_f64() * 1e3));
-        println!("{}", e9_congestion::table(&mut results).render_markdown());
+        println!("{}", e9_congestion::table(&results).render_markdown());
+        println!("{}", e9_congestion::fct_comparison_table(&results).render_markdown());
         for r in &results {
             println!("{}", e9_congestion::depth_table(r).render_markdown());
         }
         println!(
-            "drop-tail drops, PFC pauses losslessly, infinite does neither: {}\n",
+            "drop-tail drops, PFC pauses losslessly, infinite does neither: {}",
             if e9_congestion::verify_congestion(&results) { "HOLDS" } else { "VIOLATED" }
         );
+        println!(
+            "pfc completes every flow with zero drops (watchdog armed): {}",
+            if e9_congestion::verify_pfc_lossless_completion(&results) {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
+        );
+        if e9_ccs.len() == e9_congestion::CcMode::ALL.len() {
+            println!(
+                "aimd beats the fixed window's p99 in at least one congested regime: {}\n",
+                if e9_congestion::verify_aimd_beats_fixed_somewhere(&results) {
+                    "HOLDS"
+                } else {
+                    "VIOLATED"
+                }
+            );
+        } else {
+            println!();
+        }
         if let Some(path) = &trace_out {
             // The canonical E9 artifact: the first fabric's PFC hotspot
             // delivery trace — the run where pause/resume frames cross
@@ -361,11 +448,56 @@ fn main() {
             assert!(e8_fattree::verify_spread(&quick_result), "quick E8 headline must hold");
         }
         wall_ms.push(("e8_quick_ms".into(), best_ms));
+        // Second guard key since PR 7: a quick-geometry E9 PFC incast
+        // (k=4 hotspot, watchdog armed, both controllers) — the cell
+        // family the deadlock fix lives in. Its FCT p99s are recorded
+        // alongside so the trajectory shows the AIMD/fixed gap, not
+        // just wall clock.
+        eprintln!("[repro] bench-json: timing the quick E9 incast guard workload...");
+        let incast_params = e9_congestion::E9Params {
+            k: 4,
+            hosts_per_edge: 2,
+            segments: 16,
+            shards: 1,
+            ..Default::default()
+        };
+        let incast_pattern = TrafficPattern::Hotspot { hot_receivers: incast_params.hot_receivers };
+        let mut best_ms = f64::INFINITY;
+        let mut fct_p99 = Vec::new();
+        for _ in 0..3 {
+            let started = Instant::now();
+            let rows: Vec<_> = e9_congestion::CcMode::ALL
+                .iter()
+                .map(|&cc| {
+                    e9_congestion::run_cell(
+                        &incast_params,
+                        e9_congestion::QueueMode::Pfc,
+                        cc,
+                        incast_pattern,
+                    )
+                })
+                .collect();
+            best_ms = best_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            let results = [e9_congestion::E9Result { rows }];
+            assert!(
+                e9_congestion::verify_pfc_lossless_completion(&results),
+                "quick E9 incast must complete losslessly under PFC"
+            );
+            fct_p99 = results[0]
+                .rows
+                .iter()
+                .map(|r| {
+                    (format!("e9_incast_pfc_{}_p99_ms", r.cc), r.fct.percentile(99.0) as f64 / 1e6)
+                })
+                .collect();
+        }
+        wall_ms.push(("e9_incast_quick_ms".into(), best_ms));
+        wall_ms.extend(fct_p99);
         eprintln!("[repro] bench-json: running fast-table micro measurements...");
         let micro_ns: Vec<(String, f64)> =
             micro::measure_all().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         let json = format!(
-            "{{\n  \"schema\": \"arppath-bench-trajectory/v1\",\n  \"pr\": \"PR5\",\n  \
+            "{{\n  \"schema\": \"arppath-bench-trajectory/v1\",\n  \"pr\": \"PR7\",\n  \
              \"quick\": {},\n  \"wall_ms\": {{\n{}\n  }},\n  \"micro_ns\": {{\n{}\n  }}\n}}\n",
             quick,
             json_section(&wall_ms),

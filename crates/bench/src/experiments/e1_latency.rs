@@ -112,12 +112,12 @@ pub fn run(params: &E1Params) -> E1Result {
 }
 
 /// Render the paper-style table.
-pub fn table(result: &mut E1Result) -> Table {
+pub fn table(result: &E1Result) -> Table {
     let mut t = Table::new(
         "E1 (Fig. 2, §3.1): A↔B ping RTT, ARP-Path vs STP per root placement",
         &["config", "n", "min (us)", "p50 (us)", "p99 (us)", "max (us)", "lost"],
     );
-    for row in &mut result.rows {
+    for row in &result.rows {
         let n = row.rtt.count();
         t.row(&[
             row.config.clone(),
@@ -134,10 +134,9 @@ pub fn table(result: &mut E1Result) -> Table {
 
 /// The headline check: ARP-Path's median RTT is no worse than every
 /// STP placement's, and strictly better than the worst one.
-pub fn verify_headline(result: &mut E1Result) -> bool {
+pub fn verify_headline(result: &E1Result) -> bool {
     let ap = result.rows[0].rtt.percentile(50.0);
-    let stp_medians: Vec<u64> =
-        result.rows[1..].iter_mut().map(|r| r.rtt.percentile(50.0)).collect();
+    let stp_medians: Vec<u64> = result.rows[1..].iter().map(|r| r.rtt.percentile(50.0)).collect();
     let all_geq = stp_medians.iter().all(|&s| s >= ap);
     let some_worse = stp_medians.iter().any(|&s| s > ap);
     all_geq && some_worse

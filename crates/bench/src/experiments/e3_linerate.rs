@@ -175,6 +175,7 @@ fn run_size(frame_len: usize, params: &E3Params) -> E3Row {
         bandwidth_bps: params.bandwidth_bps,
         propagation: SimDuration::ZERO,
         queue: QueuePolicy::drop_tail(1 << 20),
+        ..Default::default()
     };
     b.link(tx, 0, bridge, 0, lp);
     b.link(bridge, 1, rx, 0, lp);

@@ -104,7 +104,7 @@ fn run_point(cfg: ArpPathConfig, label: String, probes: u64, pressure_pairs: u32
         table_full += ap.table_full_rejections;
     }
     let prober = built.net.device::<PingHost>(built.host_nodes[p_ix]);
-    let mut rtt = prober.rtt.clone();
+    let rtt = prober.rtt.clone();
     E7Row {
         config: label,
         delivered: prober.received,

@@ -28,13 +28,13 @@
 use super::e8_fattree::PathWalker;
 use super::{host_ip, host_mac};
 use arppath::ArpPathConfig;
-use arppath_host::{pairings, FlowConfig, FlowHost, TrafficPattern};
+use arppath_host::{pairings, Aimd, FixedWindow, FlowConfig, FlowHost, TrafficPattern};
 use arppath_metrics::{
     jain_index, DiversityCounter, DropCounter, FctSummary, QueueDepthSeries, Table,
 };
 use arppath_netsim::{
-    DeliveryTracer, Dir, DirStats, Endpoint, LinkId, NetworkStats, NodeId, QueuePolicy,
-    SimDuration, SimTime,
+    DeliveryTracer, Dir, DirStats, Endpoint, LinkId, NetworkStats, NodeId, PauseWatchdog,
+    QueuePolicy, SimDuration, SimTime,
 };
 use arppath_topo::{
     generic, BridgeKind, BuiltTopology, FatTree, Partition, ShardedTopology, TopoBuilder,
@@ -43,6 +43,15 @@ use std::sync::{Arc, Mutex};
 
 /// Per-port-direction byte cap (drop-tail) and PFC pause threshold.
 const QUEUE_CAP_BYTES: usize = 16 * 1024;
+
+/// Default pause-watchdog deadline for the PFC regime. Well above any
+/// pause a *draining* 16 KiB queue can sustain (~131 µs at 1 Gb/s, a
+/// couple of ms with pause cascades), so it only ever fires on a
+/// genuine cyclic-buffer-dependency deadlock; far below the run
+/// horizon, so a wedged incast gets unstuck many times over before the
+/// deadline. `tests/watchdog_properties.rs` pins the no-false-positive
+/// side empirically.
+const WATCHDOG_DEADLINE_MS: u64 = 10;
 
 /// The queueing regime a fabric instance runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +87,40 @@ impl QueueMode {
     }
 }
 
+/// The congestion controller every sender runs — the second axis of
+/// the E9 grid since the PFC deadlock fix: a fixed window that keeps
+/// pushing into a wedged fabric, versus AIMD senders that back off on
+/// timeout and so mostly keep the fabric out of the deadlock region in
+/// the first place (the watchdog stays as the backstop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcMode {
+    /// `FixedWindow(8)` — the pre-PR-7 sender, window never moves.
+    Fixed,
+    /// [`Aimd`] from 2 segments, +1 per ack round, halved on timeout.
+    Aimd,
+}
+
+impl CcMode {
+    /// Both controllers, in report order.
+    pub const ALL: [CcMode; 2] = [CcMode::Fixed, CcMode::Aimd];
+
+    /// A fresh controller instance for one sender.
+    pub fn controller(self) -> Box<dyn arppath_host::CongestionControl> {
+        match self {
+            CcMode::Fixed => Box::new(FixedWindow(8)),
+            CcMode::Aimd => Box::new(Aimd::new(2, 64)),
+        }
+    }
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CcMode::Fixed => "fixed",
+            CcMode::Aimd => "aimd",
+        }
+    }
+}
+
 /// Parameters of one E9 run (one fabric size, all modes × patterns).
 #[derive(Debug, Clone, Copy)]
 pub struct E9Params {
@@ -96,6 +139,10 @@ pub struct E9Params {
     /// Worker threads; `1` = single-threaded engine, `≥ 2` = sharded
     /// (rack-major, clamped to `k` like E8).
     pub shards: usize,
+    /// Pause watchdog stamped over the PFC regime's links (the other
+    /// regimes never pause, so it is not armed there). `Off` reproduces
+    /// the PR-6 deadlock.
+    pub watchdog: PauseWatchdog,
 }
 
 impl Default for E9Params {
@@ -108,6 +155,7 @@ impl Default for E9Params {
             seed: 0xE9,
             hot_receivers: 2,
             shards: 1,
+            watchdog: PauseWatchdog::force_resume(SimDuration::millis(WATCHDOG_DEADLINE_MS)),
         }
     }
 }
@@ -119,6 +167,8 @@ pub struct E9Row {
     pub pattern: &'static str,
     /// Queueing regime label.
     pub mode: &'static str,
+    /// Congestion-controller label (`"fixed"` or `"aimd"`).
+    pub cc: &'static str,
     /// Fat-tree arity.
     pub k: usize,
     /// Hosts attached (= flows offered).
@@ -131,6 +181,8 @@ pub struct E9Row {
     pub drops: DropCounter,
     /// Pause assertions observed across all link directions.
     pub pause_events: u64,
+    /// Pause-watchdog fires fabric-wide (stuck pauses broken).
+    pub watchdog_fires: u64,
     /// Total paused time across all link directions, nanoseconds.
     pub pause_time_ns: u64,
     /// High-water queue depth across all link directions, bytes.
@@ -246,12 +298,14 @@ impl Fabric {
 }
 
 /// Lay out one E9 scenario: the E8 jittered fabric, one sized
-/// go-back-N flow per host, and the mode's queue policy stamped over
-/// every link (fabric cables and host attachments alike). Shared by
-/// the measurement run and the delivery-trace capture.
+/// go-back-N flow per host under `cc`'s controller, and the mode's
+/// queue policy (plus, for PFC, the pause watchdog) stamped over every
+/// link — fabric cables and host attachments alike. Shared by the
+/// measurement run and the delivery-trace capture.
 fn scenario(
     params: &E9Params,
     mode: QueueMode,
+    cc: CcMode,
     pattern: TrafficPattern,
 ) -> (TopoBuilder, FatTree, Vec<usize>, SimTime) {
     let stations = params.k * params.k / 2 * params.hosts_per_edge;
@@ -278,11 +332,23 @@ fn scenario(
             rto: SimDuration::millis(5),
             ..FlowConfig::default()
         };
-        let host = FlowHost::new(format!("h{id}"), host_mac(id), host_ip(id), cfg);
+        let host = FlowHost::with_controller(
+            format!("h{id}"),
+            host_mac(id),
+            host_ip(id),
+            cfg,
+            cc.controller(),
+        );
         t.host(ft.edge_of_host(i, params.hosts_per_edge), Box::new(host));
     }
-    // Stamp the regime over everything declared above.
+    // Stamp the regime over everything declared above. Only the PFC
+    // regime arms the watchdog: the other modes never pause, and
+    // keeping their link parameters untouched keeps their traces
+    // byte-identical to PR 6's.
     t.set_queue_policy(mode.policy());
+    if mode == QueueMode::Pfc {
+        t.set_watchdog(params.watchdog);
+    }
 
     // Horizon: enough for heavy go-back-N recovery under incast;
     // stragglers are *counted* (FctSummary::incomplete), not hidden.
@@ -301,13 +367,20 @@ fn instantiate(params: &E9Params, t: TopoBuilder, ft: &FatTree, trace: bool) -> 
     }
 }
 
-fn run_cell(
-    params: &E9Params,
-    mode: QueueMode,
-    pattern: TrafficPattern,
-    label: &'static str,
-) -> E9Row {
-    let (t, ft, pairs, deadline) = scenario(params, mode, pattern);
+/// Table label for a workload pattern.
+fn pattern_label(pattern: TrafficPattern) -> &'static str {
+    match pattern {
+        TrafficPattern::Permutation => "permutation",
+        TrafficPattern::Hotspot { .. } => "hotspot",
+    }
+}
+
+/// Measure one (mode, cc, pattern) cell. Public so the watchdog
+/// property tests can probe individual cells (fires, drops,
+/// completion) without paying for the full grid.
+pub fn run_cell(params: &E9Params, mode: QueueMode, cc: CcMode, pattern: TrafficPattern) -> E9Row {
+    let label = pattern_label(pattern);
+    let (t, ft, pairs, deadline) = scenario(params, mode, cc, pattern);
     let n = pairs.len();
     let mut fabric = instantiate(params, t, &ft, false);
 
@@ -356,6 +429,7 @@ fn run_cell(
     let mut drops = DropCounter::new();
     drops.add("queue_full", stats.drops_queue_full);
     drops.add("link_down", stats.drops_link_down);
+    drops.add("watchdog", stats.drops_watchdog);
     let mut pause_events = 0u64;
     let mut pause_time_ns = 0u64;
     let mut peak_queue_bytes = 0u64;
@@ -400,12 +474,14 @@ fn run_cell(
     E9Row {
         pattern: label,
         mode: mode.label(),
+        cc: cc.label(),
         k: params.k,
         hosts: n,
         fct,
         retransmits,
         drops,
         pause_events,
+        watchdog_fires: stats.watchdog_fires,
         pause_time_ns,
         peak_queue_bytes,
         depth,
@@ -421,7 +497,18 @@ fn run_cell(
 /// pause/resume control frame's delivery, so the comparison also pins
 /// backpressure crossing shard cuts.
 pub fn delivery_trace(params: &E9Params, mode: QueueMode, pattern: TrafficPattern) -> Vec<String> {
-    let (t, ft, _pairs, deadline) = scenario(params, mode, pattern);
+    delivery_trace_cc(params, mode, CcMode::Fixed, pattern)
+}
+
+/// [`delivery_trace`] with an explicit congestion controller — the
+/// sharded watchdog fire-order test captures the AIMD grid cells too.
+pub fn delivery_trace_cc(
+    params: &E9Params,
+    mode: QueueMode,
+    cc: CcMode,
+    pattern: TrafficPattern,
+) -> Vec<String> {
+    let (t, ft, _pairs, deadline) = scenario(params, mode, cc, pattern);
     if params.shards > 1 {
         let mut topo = match instantiate(params, t, &ft, true) {
             Fabric::Sharded(s) => s,
@@ -440,34 +527,45 @@ pub fn delivery_trace(params: &E9Params, mode: QueueMode, pattern: TrafficPatter
     }
 }
 
-/// Run all modes × both patterns on one fabric size.
+/// Run all modes × both patterns × both controllers on one fabric
+/// size.
 pub fn run(params: &E9Params) -> E9Result {
+    run_with(params, &CcMode::ALL)
+}
+
+/// [`run`] restricted to the given controllers (the `repro` CLI's
+/// `--e9-cc` filter).
+pub fn run_with(params: &E9Params, ccs: &[CcMode]) -> E9Result {
     let mut rows = Vec::new();
-    for (pattern, label) in [
-        (TrafficPattern::Permutation, "permutation"),
-        (TrafficPattern::Hotspot { hot_receivers: params.hot_receivers }, "hotspot"),
+    for pattern in [
+        TrafficPattern::Permutation,
+        TrafficPattern::Hotspot { hot_receivers: params.hot_receivers },
     ] {
         for mode in QueueMode::ALL {
-            rows.push(run_cell(params, mode, pattern, label));
+            for &cc in ccs {
+                rows.push(run_cell(params, mode, cc, pattern));
+            }
         }
     }
     E9Result { rows }
 }
 
 /// Render the congestion summary across fabric sizes.
-pub fn table(results: &mut [E9Result]) -> Table {
+pub fn table(results: &[E9Result]) -> Table {
     let mut t = Table::new(
         "E9: congested fabrics — FCT, drops and pause time per queueing mode",
         &[
             "k",
             "pattern",
             "mode",
+            "cc",
             "flows",
             "done",
             "fct p50 (ms)",
             "fct p99 (ms)",
             "retx",
             "drops",
+            "wd fires",
             "pause (ms)",
             "peak q (B)",
             "cores used",
@@ -475,7 +573,7 @@ pub fn table(results: &mut [E9Result]) -> Table {
         ],
     );
     for result in results {
-        for r in &mut result.rows {
+        for r in &result.rows {
             let done = if r.fct.incomplete() > 0 {
                 format!("{}/{}", r.fct.completed(), r.hosts)
             } else {
@@ -485,12 +583,14 @@ pub fn table(results: &mut [E9Result]) -> Table {
                 r.k.to_string(),
                 r.pattern.to_string(),
                 r.mode.to_string(),
+                r.cc.to_string(),
                 r.hosts.to_string(),
                 done,
                 format!("{:.3}", r.fct.percentile(50.0) as f64 / 1e6),
                 format!("{:.3}", r.fct.percentile(99.0) as f64 / 1e6),
                 r.retransmits.to_string(),
                 r.drops.get("queue_full").to_string(),
+                r.watchdog_fires.to_string(),
                 format!("{:.3}", r.pause_time_ns as f64 / 1e6),
                 r.peak_queue_bytes.to_string(),
                 format!("{}/{}", r.distinct_cores, r.total_cores),
@@ -501,18 +601,103 @@ pub fn table(results: &mut [E9Result]) -> Table {
     t
 }
 
+/// The FixedWindow-vs-AIMD comparison, one row per congested regime:
+/// the committed evidence (and CI gate input) behind "AIMD shows a
+/// lower p99 FCT than the fixed window in at least one congested
+/// regime".
+pub fn fct_comparison_table(results: &[E9Result]) -> Table {
+    let mut t = Table::new(
+        "E9: FixedWindow vs AIMD flow-completion times per congested regime",
+        &[
+            "k",
+            "pattern",
+            "mode",
+            "fixed p50 (ms)",
+            "fixed p99 (ms)",
+            "aimd p50 (ms)",
+            "aimd p99 (ms)",
+            "aimd wins p99",
+        ],
+    );
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    for (fixed, aimd) in regime_pairs(results) {
+        t.row(&[
+            fixed.k.to_string(),
+            fixed.pattern.to_string(),
+            fixed.mode.to_string(),
+            ms(fixed.fct.percentile(50.0)),
+            ms(fixed.fct.percentile(99.0)),
+            ms(aimd.fct.percentile(50.0)),
+            ms(aimd.fct.percentile(99.0)),
+            if aimd_beats_fixed(fixed, aimd) { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Pair up fixed/aimd rows of the same congested (k, pattern, mode)
+/// regime, across all fabric sizes. Infinite-queue rows are excluded:
+/// nothing is congested there, so the comparison says nothing.
+fn regime_pairs(results: &[E9Result]) -> Vec<(&E9Row, &E9Row)> {
+    let mut pairs = Vec::new();
+    for result in results {
+        for fixed in result.rows.iter().filter(|r| r.cc == "fixed" && r.mode != "infinite") {
+            let aimd = result.rows.iter().find(|r| {
+                r.cc == "aimd"
+                    && r.mode == fixed.mode
+                    && r.pattern == fixed.pattern
+                    && r.k == fixed.k
+            });
+            if let Some(aimd) = aimd {
+                pairs.push((fixed, aimd));
+            }
+        }
+    }
+    pairs
+}
+
+/// `aimd` strictly improves on `fixed` in this regime: every AIMD flow
+/// completed and the p99 FCT is strictly lower.
+fn aimd_beats_fixed(fixed: &E9Row, aimd: &E9Row) -> bool {
+    aimd.fct.incomplete() == 0
+        && aimd.fct.completed() > 0
+        && aimd.fct.percentile(99.0) < fixed.fct.percentile(99.0)
+}
+
+/// The tentpole gate: every PFC row — incast at k = 8 included — ends
+/// with **all flows complete and zero drops**, under both controllers.
+/// The watchdog may fire (that's its job); fires are counted in the
+/// table, not hidden.
+pub fn verify_pfc_lossless_completion(results: &[E9Result]) -> bool {
+    results.iter().all(|result| {
+        result.rows.iter().filter(|r| r.mode == "pfc").all(|r| {
+            r.fct.incomplete() == 0
+                && r.fct.completed() == r.hosts as u64
+                && r.drops.get("queue_full") == 0
+                && r.drops.get("watchdog") == 0
+        })
+    })
+}
+
+/// The AIMD gate: at least one congested regime where AIMD's p99 FCT
+/// strictly beats the fixed window's.
+pub fn verify_aimd_beats_fixed_somewhere(results: &[E9Result]) -> bool {
+    regime_pairs(results).iter().any(|(fixed, aimd)| aimd_beats_fixed(fixed, aimd))
+}
+
 /// Render the queue-depth shape per mode for one fabric size (max and
 /// time-weighted mean of fabric-wide queued bytes; single-engine runs).
 pub fn depth_table(result: &E9Result) -> Table {
     let k = result.rows.first().map(|r| r.k).unwrap_or(0);
     let mut t = Table::new(
         format!("E9: fabric-wide queued bytes over time, k={k}"),
-        &["pattern", "mode", "samples", "max (B)", "mean (B)", "time>cap (ms)"],
+        &["pattern", "mode", "cc", "samples", "max (B)", "mean (B)", "time>cap (ms)"],
     );
     for r in &result.rows {
         t.row(&[
             r.pattern.to_string(),
             r.mode.to_string(),
+            r.cc.to_string(),
             r.depth.len().to_string(),
             r.depth.max_bytes().to_string(),
             format!("{:.0}", r.depth.mean_bytes()),

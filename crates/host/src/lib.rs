@@ -25,7 +25,7 @@ pub mod stack;
 pub mod stream;
 pub mod workload;
 
-pub use flow::{CongestionControl, FixedWindow, FlowConfig, FlowHost, RetxTimer};
+pub use flow::{Aimd, CongestionControl, FixedWindow, FlowConfig, FlowHost, RetxTimer};
 pub use ping::{PingConfig, PingHost};
 pub use stack::{HostCounters, HostStack, Upcall};
 pub use stream::{

@@ -61,8 +61,10 @@ impl FctSummary {
 
     /// Exact nearest-rank percentile over the *completed* flows, in
     /// nanoseconds (0 when none completed). Same convention as
-    /// [`LatencyStats::percentile`].
-    pub fn percentile(&mut self, p: f64) -> u64 {
+    /// [`LatencyStats::percentile`] — and like it, readable through a
+    /// shared reference, so report loops can query percentiles while
+    /// the row is borrowed elsewhere.
+    pub fn percentile(&self, p: f64) -> u64 {
         self.fcts.percentile(p)
     }
 
@@ -84,7 +86,7 @@ impl FctSummary {
 
     /// `p50/p99/max ms` plus the incomplete count — the table cell E9
     /// prints per (k, mode, pattern).
-    pub fn summary(&mut self) -> String {
+    pub fn summary(&self) -> String {
         if self.completed() == 0 {
             return format!("none completed ({} incomplete)", self.incomplete);
         }
@@ -139,5 +141,17 @@ mod tests {
         // ceil(0.50 * 5) = rank 3 → 30; ceil(0.99 * 5) = rank 5 → 50.
         assert_eq!(s.percentile(50.0), 30);
         assert_eq!(s.percentile(99.0), 50);
+    }
+
+    #[test]
+    fn percentiles_read_through_shared_references() {
+        // The E9 report loop reads several rows at once; the whole
+        // percentile path must work without `&mut`.
+        let mut s = FctSummary::new();
+        s.record(10);
+        s.record(20);
+        let shared: &FctSummary = &s;
+        assert_eq!(shared.percentile(50.0), 10);
+        assert!(shared.summary().contains("p99="));
     }
 }

@@ -3,13 +3,13 @@
 use std::fmt;
 
 /// A bag of latency samples in nanoseconds with exact percentile
-/// queries. Samples are kept raw (experiment scale is small); the
-/// sorted view is cached and invalidated on insert.
+/// queries. Samples are kept raw (experiment scale is small); order
+/// statistics sort a scratch copy per query, so every read works
+/// through a shared reference — report loops can interleave
+/// percentile queries with other borrows of the containing summary.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     samples: Vec<u64>,
-    sorted: Vec<u64>,
-    dirty: bool,
 }
 
 impl LatencyStats {
@@ -21,7 +21,6 @@ impl LatencyStats {
     /// Record one sample (nanoseconds).
     pub fn record(&mut self, nanos: u64) {
         self.samples.push(nanos);
-        self.dirty = true;
     }
 
     /// Number of samples.
@@ -72,23 +71,20 @@ impl LatencyStats {
 
     /// Exact percentile by the nearest-rank method. `p` in [0, 100].
     /// Returns 0 when empty.
-    pub fn percentile(&mut self, p: f64) -> u64 {
+    pub fn percentile(&self, p: f64) -> u64 {
         if self.samples.is_empty() {
             return 0;
         }
-        if self.dirty {
-            self.sorted = self.samples.clone();
-            self.sorted.sort_unstable();
-            self.dirty = false;
-        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
         let p = p.clamp(0.0, 100.0);
         // Nearest-rank: ceil(p/100 * N), 1-based; p=0 maps to rank 1.
-        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
-        self.sorted[rank.max(1) - 1]
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.max(1) - 1]
     }
 
     /// Median (50th percentile).
-    pub fn median(&mut self) -> u64 {
+    pub fn median(&self) -> u64 {
         self.percentile(50.0)
     }
 
@@ -100,11 +96,10 @@ impl LatencyStats {
     /// Merge another collection into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         self.samples.extend_from_slice(&other.samples);
-        self.dirty = true;
     }
 
     /// One-line human summary in microseconds.
-    pub fn summary_micros(&mut self) -> String {
+    pub fn summary_micros(&self) -> String {
         if self.is_empty() {
             return "no samples".to_string();
         }
@@ -135,8 +130,7 @@ impl fmt::Display for LatencyStats {
 
 impl FromIterator<u64> for LatencyStats {
     fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
-        let samples: Vec<u64> = iter.into_iter().collect();
-        LatencyStats { samples, sorted: Vec::new(), dirty: true }
+        LatencyStats { samples: iter.into_iter().collect() }
     }
 }
 
@@ -147,7 +141,7 @@ mod tests {
 
     #[test]
     fn empty_stats_are_zeroes() {
-        let mut s = LatencyStats::new();
+        let s = LatencyStats::new();
         assert!(s.is_empty());
         assert_eq!(s.min(), 0);
         assert_eq!(s.max(), 0);
@@ -167,7 +161,7 @@ mod tests {
 
     #[test]
     fn nearest_rank_percentiles() {
-        let mut s: LatencyStats = (1u64..=100).collect();
+        let s: LatencyStats = (1u64..=100).collect();
         assert_eq!(s.percentile(0.0), 1);
         assert_eq!(s.percentile(1.0), 1);
         assert_eq!(s.percentile(50.0), 50);
@@ -205,7 +199,7 @@ mod tests {
     proptest! {
         #[test]
         fn percentile_is_monotone(mut samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
-            let mut s: LatencyStats = samples.drain(..).collect();
+            let s: LatencyStats = samples.drain(..).collect();
             let p50 = s.percentile(50.0);
             let p90 = s.percentile(90.0);
             let p99 = s.percentile(99.0);

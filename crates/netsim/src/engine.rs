@@ -97,7 +97,7 @@
 
 use crate::calq::CalendarQueue;
 use crate::device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
-use crate::link::{Admission, Dir, Endpoint, Link, LinkId, LinkParams};
+use crate::link::{Admission, Dir, Endpoint, Link, LinkId, LinkParams, PauseWatchdog};
 use crate::pfc::{self, PfcOp};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, Tracer};
@@ -114,6 +114,9 @@ enum EventKind {
     Timer { node: NodeId, token: TimerToken },
     /// The harness flips a link's state (cable cut / re-plug).
     LinkAdmin { link: LinkId, up: bool },
+    /// A pause-watchdog deadline armed at pause time expired; `gen`
+    /// identifies the pause it guarded (stale fires are ignored).
+    Watchdog { link: LinkId, dir: Dir, gen: u64 },
     /// Test hook: hand a frame directly to a device's ingress.
     Inject { node: NodeId, port: PortNo, frame: EthernetFrame },
 }
@@ -131,6 +134,10 @@ pub struct NetworkStats {
     pub drops_link_down: u64,
     /// Frames sent into uncabled ports.
     pub drops_no_cable: u64,
+    /// Pause-watchdog fires (stuck pauses broken by policy).
+    pub watchdog_fires: u64,
+    /// Frames discarded by `DrainAndDrop` watchdog fires.
+    pub drops_watchdog: u64,
     /// Events processed.
     pub events: u64,
 }
@@ -458,6 +465,7 @@ impl Network {
                 self.dispatch(node, |dev, ctx| dev.on_timer(token, ctx));
             }
             EventKind::LinkAdmin { link, up } => self.on_link_admin(link, up),
+            EventKind::Watchdog { link, dir, gen } => self.on_watchdog(link, dir, gen),
             EventKind::Inject { node, port, frame } => self.on_inject(node, port, frame),
         }
     }
@@ -590,6 +598,7 @@ impl Network {
         };
         let now = self.now;
         let link = &mut self.links[link_id.0];
+        let watchdog = link.params.watchdog;
         let state = &mut link.dirs[dir.index()];
         match op {
             PfcOp::Pause => {
@@ -597,6 +606,18 @@ impl Network {
                     state.paused = true;
                     state.pause_started = Some(now);
                     state.stats.pause_events += 1;
+                    // Arm the deadlock watchdog for *this* pause. The
+                    // generation stamp lets the fire handler tell a
+                    // pause that was released (and possibly replaced)
+                    // in the meantime from one that is genuinely stuck.
+                    state.pause_gen += 1;
+                    let gen = state.pause_gen;
+                    if let Some(deadline) = watchdog.deadline() {
+                        self.push_at(
+                            now + deadline,
+                            EventKind::Watchdog { link: link_id, dir, gen },
+                        );
+                    }
                 }
             }
             PfcOp::Resume => {
@@ -613,6 +634,61 @@ impl Network {
                     }
                 }
             }
+        }
+    }
+
+    /// A pause-watchdog deadline expired. If the pause it was armed for
+    /// is still in force (same generation, link still up), the
+    /// transmitter is declared stuck — PFC's cyclic-buffer-dependency
+    /// deadlock — and the cycle is broken per the link's
+    /// [`crate::PauseWatchdog`] policy. The fire is counted and
+    /// synthesized into the delivery trace as a constant-byte marker at
+    /// the stuck transmitter's own endpoint; because the decision
+    /// depends only on sender-side state, the sharded engine fires the
+    /// same watchdogs at the same instants and traces stay
+    /// byte-identical.
+    fn on_watchdog(&mut self, link_id: LinkId, dir: Dir, gen: u64) {
+        let now = self.now;
+        let link = &mut self.links[link_id.0];
+        if !link.up {
+            return; // pause state died with the carrier
+        }
+        let policy = link.params.watchdog;
+        let ep = link.sender(dir);
+        let state = &mut link.dirs[dir.index()];
+        if !state.paused || state.pause_gen != gen {
+            return; // released before the deadline: not stuck
+        }
+        state.paused = false;
+        if let Some(started) = state.pause_started.take() {
+            state.stats.paused_for = state.stats.paused_for + SimDuration::nanos(now.0 - started.0);
+        }
+        state.stats.watchdog_fires += 1;
+        self.stats.watchdog_fires += 1;
+        let mut resume_next = None;
+        match policy {
+            // Unreachable in practice: fires are only armed when a
+            // deadline exists. Harmless if params ever become mutable.
+            PauseWatchdog::Off => {}
+            PauseWatchdog::ForceResume { .. } => {
+                if !state.transmitting {
+                    resume_next = state.queue.pop();
+                }
+            }
+            PauseWatchdog::DrainAndDrop { .. } => {
+                let lost = state.queue.clear() as u64;
+                state.stats.dropped_watchdog += lost;
+                self.stats.drops_watchdog += lost;
+            }
+        }
+        self.stats.frames_delivered += 1;
+        self.trace(TraceEvent::Delivered {
+            node: ep.node,
+            port: ep.port,
+            frame: &pfc::watchdog_resume_frame(),
+        });
+        if let Some(frame) = resume_next {
+            self.start_tx(link_id, dir, frame);
         }
     }
 
@@ -705,19 +781,52 @@ impl Network {
             // state dies with the carrier (a re-plugged link starts
             // unpaused, like real hardware renegotiating flow control).
             let now = self.now;
+            let mut release: Vec<Endpoint> = Vec::new();
             for dir in [Dir::AtoB, Dir::BtoA] {
+                let sender = link.sender(dir);
                 let state = &mut link.dirs[dir.index()];
                 let lost = state.queue.clear() as u64;
                 state.stats.dropped_link_down += lost;
                 self.stats.drops_link_down += lost;
                 state.transmitting = false;
-                state.pause_asserted = false;
+                if state.pause_asserted {
+                    state.pause_asserted = false;
+                    release.push(sender);
+                }
                 if state.paused {
                     state.paused = false;
                     if let Some(started) = state.pause_started.take() {
                         state.stats.paused_for =
                             state.stats.paused_for + SimDuration::nanos(now.0 - started.0);
                     }
+                }
+            }
+            // A drained queue can never cross its resume threshold, so
+            // a pause this direction had asserted toward its feeders
+            // would otherwise never be released — every upstream
+            // transmitter would stay halted forever. Release them now,
+            // out of the asserting device's other (still-cabled) ports,
+            // exactly as the pause went out.
+            for ep in release {
+                self.emit_pfc(ep, PfcOp::Resume);
+            }
+        } else {
+            // Re-plug: re-evaluate admission. Queues were drained at
+            // cut time and pause state died with the carrier, so
+            // normally nothing is pending — but any frame parked across
+            // the outage must restart the transmitter here rather than
+            // wait for the next send to arrive.
+            for dir in [Dir::AtoB, Dir::BtoA] {
+                let next = {
+                    let state = &mut self.links[link_id.0].dirs[dir.index()];
+                    if !state.transmitting && !state.paused {
+                        state.queue.pop()
+                    } else {
+                        None
+                    }
+                };
+                if let Some(frame) = next {
+                    self.start_tx(link_id, dir, frame);
                 }
             }
         }
@@ -838,6 +947,7 @@ mod tests {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::micros(1),
             queue: QueuePolicy::drop_tail(1 << 20),
+            ..Default::default()
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
@@ -857,6 +967,7 @@ mod tests {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::ZERO,
             queue: QueuePolicy::drop_tail(1 << 20),
+            ..Default::default()
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 3 }));
@@ -878,6 +989,7 @@ mod tests {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::ZERO,
             queue: QueuePolicy::drop_tail(60),
+            ..Default::default()
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 3 }));
@@ -895,6 +1007,7 @@ mod tests {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::micros(5),
             queue: QueuePolicy::drop_tail(1 << 20),
+            ..Default::default()
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
@@ -915,6 +1028,7 @@ mod tests {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::millis(1),
             queue: QueuePolicy::drop_tail(1 << 20),
+            ..Default::default()
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 1 }));
@@ -1099,11 +1213,13 @@ mod tests {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::ZERO,
             queue: QueuePolicy::Infinite,
+            ..Default::default()
         };
         let slow = LinkParams {
             bandwidth_bps: 10_000_000,
             propagation: SimDuration::ZERO,
             queue: QueuePolicy::pfc(150), // pause at ≥150 B, resume at ≤75 B
+            ..Default::default()
         };
         let mut b = NetworkBuilder::new();
         let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 20 }));
@@ -1136,6 +1252,116 @@ mod tests {
         net.run_until_idle(SimTime(u64::MAX));
         assert!(!net.link(l).is_paused(Dir::BtoA));
         assert_eq!(net.link(l).stats(Dir::BtoA).pause_events, 1);
+    }
+
+    #[test]
+    fn watchdog_force_resume_breaks_a_stuck_pause() {
+        // A pause with no matching resume — the essence of the E9
+        // deadlock, minus the cycle. The watchdog must fire once at
+        // exactly the deadline, restart the transmitter, and deliver
+        // everything that was parked behind the pause.
+        let params = LinkParams::default()
+            .with_watchdog(PauseWatchdog::force_resume(SimDuration::millis(1)));
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 5 }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        let l = b.link(tx, 0, rx, 0, params);
+        let mut net = b.build();
+        // The blaster's burst is in the transmitter; halt it with a
+        // pause that nobody will ever release.
+        net.inject(tx, PortNo(0), crate::pfc::pause_frame());
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.device::<Probe>(rx).heard.len(), 5, "parked frames must drain");
+        assert_eq!(net.stats().watchdog_fires, 1);
+        assert_eq!(net.stats().drops_watchdog, 0, "forced resume is lossless");
+        let s = net.link(l).stats(Dir::AtoB);
+        assert_eq!(s.watchdog_fires, 1);
+        assert!(!net.link(l).is_paused(Dir::AtoB));
+        // Pause accounting closes at the fire: the full deadline, no more.
+        assert_eq!(s.paused_for, SimDuration::millis(1));
+    }
+
+    #[test]
+    fn watchdog_drain_and_drop_discards_the_stuck_queue() {
+        let params = LinkParams::default()
+            .with_watchdog(PauseWatchdog::DrainAndDrop { deadline: SimDuration::millis(1) });
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 5 }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        let l = b.link(tx, 0, rx, 0, params);
+        let mut net = b.build();
+        // One frame is already serializing (it always completes); the
+        // other four are queued behind the pause and get discarded.
+        net.inject(tx, PortNo(0), crate::pfc::pause_frame());
+        net.run_until_idle(SimTime(u64::MAX));
+        assert_eq!(net.device::<Probe>(rx).heard.len(), 1);
+        assert_eq!(net.stats().watchdog_fires, 1);
+        assert_eq!(net.stats().drops_watchdog, 4);
+        assert_eq!(net.link(l).stats(Dir::AtoB).dropped_watchdog, 4);
+        assert!(!net.link(l).is_paused(Dir::AtoB));
+    }
+
+    #[test]
+    fn watchdog_ignores_released_and_replaced_pauses() {
+        // No false positives: a pause released before the deadline must
+        // not fire, and a *stale* deadline must not break a younger
+        // pause that replaced the one it was armed for.
+        let params = LinkParams::default()
+            .with_watchdog(PauseWatchdog::force_resume(SimDuration::millis(1)));
+        let (mut net, _na, nb, l) = two_probes(false, params);
+        net.inject(nb, PortNo(0), crate::pfc::pause_frame());
+        net.inject(nb, PortNo(0), crate::pfc::resume_frame());
+        // Half a deadline later, a second pause arrives (generation 2).
+        net.run_until(SimTime(SimDuration::micros(500).as_nanos()));
+        net.inject(nb, PortNo(0), crate::pfc::pause_frame());
+        // The generation-1 deadline passes: the generation-2 pause must
+        // survive it untouched.
+        net.run_until(SimTime(SimDuration::micros(1200).as_nanos()));
+        assert!(net.link(l).is_paused(Dir::BtoA), "stale fire must not release a younger pause");
+        assert_eq!(net.stats().watchdog_fires, 0);
+        // The generation-2 deadline is real, though.
+        net.run_until_idle(SimTime(u64::MAX));
+        assert!(!net.link(l).is_paused(Dir::BtoA));
+        assert_eq!(net.stats().watchdog_fires, 1);
+    }
+
+    #[test]
+    fn link_down_releases_pauses_asserted_toward_feeders() {
+        // Regression: the congested forwarder has paused its feeder;
+        // then the congested egress link is cut. Its queue is drained,
+        // so it can never cross the resume threshold — before the fix
+        // the feeder stayed paused forever (run_until_idle returns with
+        // the fabric wedged: a paused transmitter holds no events).
+        let fast = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::ZERO,
+            queue: QueuePolicy::Infinite,
+            ..Default::default()
+        };
+        let slow = LinkParams {
+            bandwidth_bps: 10_000_000,
+            propagation: SimDuration::ZERO,
+            queue: QueuePolicy::pfc(150),
+            ..Default::default()
+        };
+        let mut b = NetworkBuilder::new();
+        let tx = b.add(Box::new(Blaster { name: "tx".into(), count: 20 }));
+        let fwd = b.add(Box::new(Forwarder { name: "fwd".into() }));
+        let rx = b.add(Box::new(Probe::new("rx", false)));
+        let l_fast = b.link(tx, 0, fwd, 0, fast);
+        let l_slow = b.link(fwd, 1, rx, 0, slow);
+        let mut net = b.build();
+        // 100 µs in, the slow egress is congested and tx is paused.
+        net.schedule_link_down(l_slow, SimTime(SimDuration::micros(100).as_nanos()));
+        net.run_until(SimTime(SimDuration::micros(99).as_nanos()));
+        assert!(net.link(l_fast).is_paused(Dir::AtoB), "precondition: feeder is paused");
+        net.run_until_idle(SimTime(u64::MAX));
+        assert!(!net.link(l_fast).is_paused(Dir::AtoB), "cutting the egress must release it");
+        assert_eq!(
+            net.link(l_fast).stats(Dir::AtoB).tx_frames,
+            20,
+            "every parked frame must leave the feeder after the release"
+        );
     }
 
     #[test]

@@ -60,7 +60,8 @@ pub use calq::CalendarQueue;
 pub use device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
 pub use engine::{Network, NetworkBuilder, NetworkStats};
 pub use link::{
-    Admission, Dir, DirStats, Endpoint, Link, LinkId, LinkParams, PortQueue, QueuePolicy,
+    Admission, Dir, DirStats, Endpoint, Link, LinkId, LinkParams, PauseWatchdog, PortQueue,
+    QueuePolicy,
 };
 pub use pfc::PfcOp;
 pub use sharded::{ShardStats, ShardedBuilder, ShardedNetwork};

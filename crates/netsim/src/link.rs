@@ -88,6 +88,58 @@ impl QueuePolicy {
     }
 }
 
+/// What a transmitter does when a PFC pause outlives its deadline.
+///
+/// PFC's pause fan-out plus learned paths that are not up/down can form
+/// cyclic buffer dependencies: every transmitter on the cycle waits for
+/// a resume that can only come from another paused transmitter, and the
+/// fabric wedges (E9's incast at k ≥ 6). Production fabrics break such
+/// cycles with a pause watchdog; this is the simulator's. `Off` is the
+/// default, so no pre-existing scenario changes behaviour.
+///
+/// A fire is accounted per direction ([`DirStats::watchdog_fires`]) and
+/// engine-wide (`NetworkStats::watchdog_fires`), and synthesized into
+/// the delivery trace as a constant-byte wire event so sharded runs
+/// stay byte-identical to single-threaded ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PauseWatchdog {
+    /// No watchdog: a pause lasts until the matching resume arrives
+    /// (the pre-PR-7 behaviour, deadlocks included).
+    #[default]
+    Off,
+    /// After `deadline` of continuous pause, force the transmitter to
+    /// resume as if a resume frame had arrived. Lossless: queued frames
+    /// stay queued and drain normally.
+    ForceResume {
+        /// Continuous pause duration that triggers the watchdog.
+        deadline: SimDuration,
+    },
+    /// After `deadline` of continuous pause, drop the queued frames
+    /// (counted in [`DirStats::dropped_watchdog`]) and resume. Trades
+    /// loss for immediately freed buffer space.
+    DrainAndDrop {
+        /// Continuous pause duration that triggers the watchdog.
+        deadline: SimDuration,
+    },
+}
+
+impl PauseWatchdog {
+    /// A forced-resume watchdog with the given deadline.
+    pub fn force_resume(deadline: SimDuration) -> Self {
+        PauseWatchdog::ForceResume { deadline }
+    }
+
+    /// The deadline, if the watchdog is armed at all.
+    pub fn deadline(self) -> Option<SimDuration> {
+        match self {
+            PauseWatchdog::Off => None,
+            PauseWatchdog::ForceResume { deadline } | PauseWatchdog::DrainAndDrop { deadline } => {
+                Some(deadline)
+            }
+        }
+    }
+}
+
 /// Verdict of [`PortQueue::try_enqueue`]: either the frame was queued,
 /// or it is handed back so the caller can count and trace the drop.
 #[derive(Debug)]
@@ -194,6 +246,9 @@ pub struct LinkParams {
     pub propagation: SimDuration,
     /// Transmit queue admission policy, per direction.
     pub queue: QueuePolicy,
+    /// Pause-deadlock watchdog, per direction (PFC policies only; a
+    /// transmitter that is never paused never arms it).
+    pub watchdog: PauseWatchdog,
 }
 
 impl Default for LinkParams {
@@ -203,6 +258,7 @@ impl Default for LinkParams {
             // A few metres of copper patch in the demo rack.
             propagation: SimDuration::nanos(500),
             queue: QueuePolicy::Infinite,
+            watchdog: PauseWatchdog::Off,
         }
     }
 }
@@ -216,6 +272,11 @@ impl LinkParams {
     /// The same link with the given queue policy.
     pub fn with_queue(self, queue: QueuePolicy) -> Self {
         LinkParams { queue, ..self }
+    }
+
+    /// The same link with the given pause watchdog.
+    pub fn with_watchdog(self, watchdog: PauseWatchdog) -> Self {
+        LinkParams { watchdog, ..self }
     }
 
     /// The same link with its propagation delay stripped. The sharded
@@ -267,6 +328,10 @@ pub struct DirStats {
     pub paused_for: SimDuration,
     /// High-water mark of the transmit queue, in bytes.
     pub peak_queue_bytes: u64,
+    /// Times the pause watchdog fired on this transmitter.
+    pub watchdog_fires: u64,
+    /// Frames discarded by a `DrainAndDrop` watchdog fire.
+    pub dropped_watchdog: u64,
 }
 
 /// One direction's transmit state.
@@ -284,6 +349,10 @@ pub(crate) struct DirState {
     /// This direction's queue has an unreleased pause asserted toward
     /// the devices feeding it (PFC policy only).
     pub pause_asserted: bool,
+    /// Bumped every time a pause takes hold; a pending watchdog event
+    /// carries the generation it was armed under and is ignored if the
+    /// pause it guarded has since been released (or replaced).
+    pub pause_gen: u64,
     /// Counters.
     pub stats: DirStats,
 }

@@ -66,6 +66,31 @@ pub fn resume_frame() -> EthernetFrame {
     control_frame(0)
 }
 
+/// The trace marker a pause-watchdog fire leaves behind.
+///
+/// A watchdog fire is a local decision of the stuck transmitter, not a
+/// frame that arrived off the wire — but it must still be visible in
+/// delivery traces, and identically so in single-threaded and sharded
+/// runs. The engine therefore synthesizes this constant-byte frame as
+/// a `Delivered` trace event at the transmitter's own endpoint when
+/// the watchdog fires. The opcode deliberately differs from the real
+/// pause/resume opcode so [`classify`] never mistakes it for wire flow
+/// control ([`classify`] returns `None` for it); it exists only in
+/// traces and counters.
+pub fn watchdog_resume_frame() -> EthernetFrame {
+    // Opcode 0x0102 (unused by 802.3x), payload spells "WD".
+    let data = [0x01, 0x02, 0x57, 0x44];
+    EthernetFrame {
+        dst: PAUSE_DST,
+        src: PAUSE_SRC,
+        vlan: None,
+        payload: Payload::Raw {
+            ethertype: FLOW_CONTROL_ETHERTYPE,
+            data: Bytes::copy_from_slice(&data),
+        },
+    }
+}
+
 /// Recognize a flow-control frame, returning the operation it carries.
 pub fn classify(frame: &EthernetFrame) -> Option<PfcOp> {
     if frame.dst != PAUSE_DST {
@@ -93,6 +118,11 @@ mod tests {
     fn frames_classify_round_trip() {
         assert_eq!(classify(&pause_frame()), Some(PfcOp::Pause));
         assert_eq!(classify(&resume_frame()), Some(PfcOp::Resume));
+        assert_eq!(
+            classify(&watchdog_resume_frame()),
+            None,
+            "watchdog markers are trace-only, never wire flow control"
+        );
     }
 
     #[test]

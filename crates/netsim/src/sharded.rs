@@ -683,6 +683,8 @@ impl ShardedNetwork {
             total.drops_queue_full += s.drops_queue_full;
             total.drops_link_down += s.drops_link_down;
             total.drops_no_cable += s.drops_no_cable;
+            total.watchdog_fires += s.watchdog_fires;
+            total.drops_watchdog += s.drops_watchdog;
             total.events += s.events;
         }
         let cross = self.cross_frames();

@@ -12,8 +12,8 @@ use crate::partition::Partition;
 use arppath::{ArpPathBridge, ArpPathConfig};
 use arppath_netfpga::{NetFpgaParams, NetFpgaSwitch};
 use arppath_netsim::{
-    Device, LinkId, LinkParams, Network, NetworkBuilder, NodeId, QueuePolicy, ShardedBuilder,
-    ShardedNetwork, Tracer,
+    Device, LinkId, LinkParams, Network, NetworkBuilder, NodeId, PauseWatchdog, QueuePolicy,
+    ShardedBuilder, ShardedNetwork, Tracer,
 };
 use arppath_stp::{StpBridge, StpConfig};
 use arppath_switch::{IdealSwitch, LearningConfig, LearningSwitch, SwitchCounters};
@@ -132,6 +132,19 @@ impl TopoBuilder {
         }
         for h in &mut self.hosts {
             h.params = h.params.with_queue(queue);
+        }
+    }
+
+    /// Stamp `watchdog` on every link declared *so far*, the same way
+    /// [`TopoBuilder::set_queue_policy`] stamps queue policies — E9
+    /// arms the pause-deadlock watchdog across its PFC fabric with one
+    /// call. Links added afterwards keep their own parameters.
+    pub fn set_watchdog(&mut self, watchdog: PauseWatchdog) {
+        for (_, _, params) in &mut self.bridge_links {
+            *params = params.with_watchdog(watchdog);
+        }
+        for h in &mut self.hosts {
+            h.params = h.params.with_watchdog(watchdog);
         }
     }
 

@@ -48,7 +48,7 @@ fn run_once(kind: BridgeKind, root: Option<usize>, warmup: SimDuration) -> (Stri
     let mut built = t.build();
     built.net.run_until(SimTime((warmup + SimDuration::secs(1)).as_nanos()));
     let prober = built.net.device::<PingHost>(built.host_nodes[a_ix]);
-    let mut rtt = prober.rtt.clone();
+    let rtt = prober.rtt.clone();
     let label = match root {
         None => "ARP-Path".to_string(),
         Some(r) => format!("STP, root {}", ["NF1", "NF2", "NF3", "NF4", "NICA", "NICB"][r]),

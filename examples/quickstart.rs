@@ -58,7 +58,7 @@ fn main() {
 
     // 5. And the latency the hosts actually saw.
     let prober = built.net.device::<PingHost>(built.host_nodes[a_ix]);
-    let mut rtt = prober.rtt.clone();
+    let rtt = prober.rtt.clone();
     println!("\nping hostA -> hostB: {}", rtt.summary_micros());
     println!("(no spanning tree, no link-state protocol, and zero configuration on the hosts)");
 }

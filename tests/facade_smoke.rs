@@ -69,6 +69,6 @@ fn quickstart_scenario_via_facade() {
 
     let prober = built.net.device::<PingHost>(built.host_nodes[a_ix]);
     assert_eq!(prober.received, 10, "every ping must complete");
-    let mut rtt = prober.rtt.clone();
+    let rtt = prober.rtt.clone();
     assert!(rtt.summary_micros().starts_with("n=10"), "ten RTT samples recorded");
 }

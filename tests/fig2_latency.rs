@@ -16,7 +16,7 @@ fn arppath_beats_or_matches_every_stp_root() {
         assert_eq!(row.rtt.count(), 10, "{}: all probes measured", row.config);
     }
     assert!(
-        verify_headline(&mut result),
+        verify_headline(&result),
         "headline violated: {:?}",
         result
             .rows

@@ -12,7 +12,7 @@
 
 use arppath::ArpPathConfig;
 use arppath_bench::experiments::e8_fattree::{self, E8Params};
-use arppath_bench::experiments::e9_congestion::{self, E9Params, QueueMode};
+use arppath_bench::experiments::e9_congestion::{self, CcMode, E9Params, QueueMode};
 use arppath_host::{PingConfig, PingHost, TrafficPattern};
 use arppath_netsim::{DeliveryTracer, NetworkStats, SimDuration, SimTime};
 use arppath_topo::{BridgeKind, Fig1, Fig2, Partition, TopoBuilder};
@@ -184,6 +184,46 @@ fn congested_queues_and_pfc_are_trace_identical_across_shards() {
         assert!(!reference.is_empty(), "{mode:?}: scenario must produce traffic");
         let trace = e9_congestion::delivery_trace(&params(2), mode, pattern);
         assert_eq!(trace, reference, "{mode:?}: congested delivery trace diverged at 2 shards");
+    }
+}
+
+#[test]
+fn watchdog_fires_are_shard_invariant() {
+    // The pause watchdog's twin test: a PFC incast that genuinely
+    // wedges (fixed-window senders, default k=4 geometry at full
+    // segment count), so the watchdog must fire —
+    // and every fire synthesizes a wire-visible resume record. If the
+    // sharded engine armed or fired a watchdog at a different virtual
+    // time, or resolved the deadlock in a different order, the merged
+    // trace would diverge byte-for-byte. It must not: fires are
+    // scheduled engine events under the same (time, seq) order as
+    // everything else, so lookahead already covers them.
+    let params = |shards| E9Params { shards, ..Default::default() };
+    let pattern = TrafficPattern::Hotspot { hot_receivers: params(1).hot_receivers };
+
+    // Precondition: this scenario actually deadlocks and recovers.
+    let single = e9_congestion::run_cell(&params(1), QueueMode::Pfc, CcMode::Fixed, pattern);
+    assert!(single.watchdog_fires > 0, "scenario must wedge for the twin test to mean anything");
+    assert_eq!(single.fct.incomplete(), 0, "watchdog must unwedge every flow");
+
+    let reference =
+        e9_congestion::delivery_trace_cc(&params(1), QueueMode::Pfc, CcMode::Fixed, pattern);
+    assert!(!reference.is_empty(), "scenario must produce traffic");
+    for shards in [2usize, 3] {
+        let trace = e9_congestion::delivery_trace_cc(
+            &params(shards),
+            QueueMode::Pfc,
+            CcMode::Fixed,
+            pattern,
+        );
+        assert_eq!(trace, reference, "watchdog fire order diverged at {shards} shards");
+        let sharded =
+            e9_congestion::run_cell(&params(shards), QueueMode::Pfc, CcMode::Fixed, pattern);
+        assert_eq!(
+            sharded.watchdog_fires, single.watchdog_fires,
+            "watchdog fire count diverged at {shards} shards"
+        );
+        assert_eq!(sharded.fct.incomplete(), 0);
     }
 }
 

@@ -1,0 +1,81 @@
+//! The pause watchdog's no-false-positive property, held empirically:
+//! on a lossless PFC run that does **not** deadlock, the watchdog never
+//! fires. The deadline is a backstop for cyclic buffer dependencies,
+//! not a scheduler — a pause that a draining queue will release on its
+//! own must always win the race against the deadline.
+//!
+//! The positive side (a wedged incast *is* broken, deterministically,
+//! shard count notwithstanding) lives in `tests/sharded_equivalence.rs`
+//! and the `--incast-gate` CI run; this file pins the negative side
+//! over a seed sweep so the deadline in `e9_congestion` can never be
+//! tightened into the false-positive region without a test going red.
+
+use arppath_bench::experiments::e9_congestion::{self, CcMode, E9Params, QueueMode};
+use arppath_host::TrafficPattern;
+use proptest::prelude::*;
+
+/// One permutation PFC cell: admissible load, no incast, no deadlock.
+fn permutation_cell(k: usize, seed: u64, cc: CcMode) -> e9_congestion::E9Row {
+    let params = E9Params { k, hosts_per_edge: 2, segments: 8, seed, ..Default::default() };
+    e9_congestion::run_cell(&params, QueueMode::Pfc, cc, TrafficPattern::Permutation)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Any seed, either fabric size, both controllers: a permutation
+    /// workload under PFC stays lossless, completes, and never trips
+    /// the watchdog — pauses here are ordinary backpressure that
+    /// resumes on its own well inside the deadline.
+    #[test]
+    fn watchdog_never_fires_on_a_non_deadlocked_run(
+        seed in 0u64..1_000_000,
+        k_ix in 0usize..2,
+        cc_ix in 0usize..2,
+    ) {
+        let k = [4usize, 6][k_ix];
+        let cc = [CcMode::Fixed, CcMode::Aimd][cc_ix];
+        let row = permutation_cell(k, seed, cc);
+        prop_assert_eq!(
+            row.watchdog_fires, 0,
+            "k={} seed={} cc={:?}: watchdog fired on a non-deadlocked run", k, seed, cc
+        );
+        prop_assert_eq!(row.drops.get("queue_full"), 0, "PFC must stay lossless");
+        prop_assert_eq!(row.drops.get("watchdog"), 0);
+        prop_assert_eq!(
+            row.fct.incomplete(), 0,
+            "k={} seed={}: every flow must complete without watchdog help", k, seed
+        );
+    }
+}
+
+/// The deadline is not load-bearing for ordinary backpressure: even a
+/// deadline an order of magnitude tighter than the default never fires
+/// on the default-seed permutation runs. (A sweep, not a property —
+/// the deadline axis is small and fixed.)
+#[test]
+fn tighter_deadlines_still_have_no_false_positives() {
+    use arppath_netsim::{PauseWatchdog, SimDuration};
+    for deadline_ms in [1u64, 2, 5] {
+        for k in [4usize, 6] {
+            let params = E9Params {
+                k,
+                hosts_per_edge: 2,
+                segments: 8,
+                watchdog: PauseWatchdog::force_resume(SimDuration::millis(deadline_ms)),
+                ..Default::default()
+            };
+            let row = e9_congestion::run_cell(
+                &params,
+                QueueMode::Pfc,
+                CcMode::Fixed,
+                TrafficPattern::Permutation,
+            );
+            assert_eq!(
+                row.watchdog_fires, 0,
+                "k={k}, {deadline_ms} ms deadline: fired on plain backpressure"
+            );
+            assert_eq!(row.fct.incomplete(), 0);
+        }
+    }
+}
