@@ -39,7 +39,7 @@
 use arppath_bench::experiments::{
     e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation, e8_fattree, e9_congestion,
 };
-use arppath_bench::micro;
+use arppath_bench::{difftest, micro};
 use arppath_host::TrafficPattern;
 use arppath_netsim::{PauseWatchdog, SimDuration};
 use std::time::Instant;
@@ -93,6 +93,66 @@ fn bench_guard(mut args: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
+/// `difftest`: the differential shard-equivalence fuzzer. Runs
+/// `--seeds N` randomized scenarios (quick fat-tree geometries across
+/// every k/jitter/workload/queue/watchdog/shard/partition axis) under
+/// the single-threaded and sharded engines and multiset-compares the
+/// merged delivery traces. On a failure it delta-debugs the scenario
+/// down and prints a one-line reproducer that
+/// `tests/sharded_equivalence.rs` replays via `Spec::parse`, then
+/// exits 1. `--self-check` instead injects an unsound horizon into the
+/// sharded engine and requires the fuzzer to catch and minimize it —
+/// proof the harness detects the bug class it exists for.
+fn difftest_cmd(mut args: Vec<String>) -> ! {
+    let seeds: u64 = take_value(&mut args, "--seeds")
+        .map(|v| v.parse().expect("--seeds expects a count"))
+        .unwrap_or(32);
+    let first_seed: u64 = take_value(&mut args, "--start")
+        .map(|v| v.parse().expect("--start expects a seed"))
+        .unwrap_or(0);
+    let budget: usize = take_value(&mut args, "--minimize-budget")
+        .map(|v| v.parse().expect("--minimize-budget expects a count"))
+        .unwrap_or(400);
+    let self_check = args.iter().any(|a| a == "--self-check");
+    let mut log = |line: &str| eprintln!("[difftest] {line}");
+    let started = Instant::now();
+    if self_check {
+        match difftest::self_check(seeds, &mut log) {
+            Ok(()) => {
+                eprintln!(
+                    "[difftest] self-check PASSED in {} ms: injected unsound horizon \
+                     detected, minimized, and cleared",
+                    started.elapsed().as_millis()
+                );
+                std::process::exit(0);
+            }
+            Err(why) => {
+                eprintln!("[difftest] self-check FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match difftest::fuzz(first_seed, seeds, budget, &mut log) {
+        None => {
+            eprintln!(
+                "[difftest] {seeds} seed(s) from {first_seed}: zero divergences ({} ms)",
+                started.elapsed().as_millis()
+            );
+            std::process::exit(0);
+        }
+        Some(report) => {
+            eprintln!(
+                "[difftest] FAILURE minimized in {} attempts ({:?})",
+                report.attempts, report.outcome
+            );
+            // The machine-readable artifact: paste into
+            // tests/sharded_equivalence.rs as a Spec::parse literal.
+            println!("{}", report.scenario.render());
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Pull `--flag value` or `--flag=value` out of `args`, consuming it.
 fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let prefix = format!("{flag}=");
@@ -114,6 +174,10 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench-guard") {
         args.remove(0);
         bench_guard(args);
+    }
+    if args.first().map(String::as_str) == Some("difftest") {
+        args.remove(0);
+        difftest_cmd(args);
     }
     let bench_json = take_value(&mut args, "--bench-json");
     let mut wall_ms: Vec<(String, f64)> = Vec::new();

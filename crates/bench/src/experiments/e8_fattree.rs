@@ -301,12 +301,11 @@ fn scenario(
     params: &E8Params,
     pattern: TrafficPattern,
 ) -> (TopoBuilder, FatTree, Vec<usize>, SimTime) {
-    // Size the bridges' d-left path tables for the fabric: a core
-    // bridge learns every station, so geometry follows the host count
-    // (the NetFPGA analogue: BRAM sized for the target network).
-    let stations = params.k * params.k / 2 * params.hosts_per_edge;
-    let cfg = ArpPathConfig::default().with_expected_stations(stations);
-    let mut t = TopoBuilder::new(BridgeKind::ArpPath(cfg));
+    // The bridges' d-left path tables size themselves: TopoBuilder
+    // derives the geometry from the declared host count at build time
+    // (a core bridge learns every station — the NetFPGA analogue of
+    // sizing BRAM for the target network).
+    let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
     // Jittered fabric delays: on a perfectly symmetric tree every race
     // resolves by the deterministic tie-break and all flows funnel
     // onto one core. The jitter seed derives from the workload seed so

@@ -301,16 +301,17 @@ impl Fabric {
 /// go-back-N flow per host under `cc`'s controller, and the mode's
 /// queue policy (plus, for PFC, the pause watchdog) stamped over every
 /// link — fabric cables and host attachments alike. Shared by the
-/// measurement run and the delivery-trace capture.
-fn scenario(
+/// measurement run, the delivery-trace capture, and the differential
+/// fuzzer (`crate::difftest`), which varies the partition on top.
+pub(crate) fn scenario(
     params: &E9Params,
     mode: QueueMode,
     cc: CcMode,
     pattern: TrafficPattern,
 ) -> (TopoBuilder, FatTree, Vec<usize>, SimTime) {
-    let stations = params.k * params.k / 2 * params.hosts_per_edge;
-    let cfg = ArpPathConfig::default().with_expected_stations(stations);
-    let mut t = TopoBuilder::new(BridgeKind::ArpPath(cfg));
+    // Path-table geometry is derived from the host count by
+    // TopoBuilder at build time (see E8's scenario note).
+    let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
     // Same jitter derivation as E8: one seed pins the whole scenario.
     let ft = generic::fat_tree_jittered(&mut t, params.k, params.seed.wrapping_add(0xFA7));
     let n = ft.host_capacity(params.hosts_per_edge);

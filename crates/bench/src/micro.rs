@@ -100,7 +100,7 @@ pub fn calq_churn(rounds: u64) -> u64 {
     let mut state = 0x9E37_79B9u64;
     for i in 0..16u64 {
         for _ in 0..CHURN_COHORT {
-            q.push(SimTime(1 + i * 800), seq, seq);
+            q.push(SimTime(1 + i * 800), seq % CHURN_COHORT, seq, seq);
             seq += 1;
         }
     }
@@ -111,7 +111,7 @@ pub fn calq_churn(rounds: u64) -> u64 {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         for item in batch.drain(..) {
             acc = acc.wrapping_add(t.as_nanos() ^ item);
-            q.push(next, seq, item);
+            q.push(next, seq % CHURN_COHORT, seq, item);
             seq += 1;
         }
     }

@@ -135,6 +135,20 @@ impl ArpPathBridge {
         self.table.len()
     }
 
+    /// Bucket-overflow evictions in the path table since construction.
+    /// Nonzero means the d-left geometry is undersized for the fabric
+    /// (a real CAM would have dropped the entry silently instead).
+    pub fn table_evictions(&self) -> u64 {
+        self.table.evictions()
+    }
+
+    /// Physical slot capacity of the path table — what the configured
+    /// (or [`ArpPathConfig::autosize_for_stations`]-derived) geometry
+    /// actually allocated.
+    pub fn table_slot_capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
     /// Whether `port` currently classifies as core (bridge-facing).
     pub fn is_core_port(&self, port: PortNo, now: SimTime) -> bool {
         self.core_until.get(port.0).is_some_and(|&t| t > now)

@@ -99,6 +99,28 @@ impl ArpPathConfig {
         self
     }
 
+    /// Derive the physical geometry from a declared station count when
+    /// neither [`table_bucket_bits`](ArpPathConfig::table_bucket_bits)
+    /// nor [`table_capacity`](ArpPathConfig::table_capacity) was set
+    /// explicitly; a no-op otherwise. The derived geometry never drops
+    /// below the library default, so small topologies keep the exact
+    /// tables (and traces) they had before autosizing existed.
+    ///
+    /// `TopoBuilder` calls this at build time with the number of
+    /// attached hosts — the way a NetFPGA build sizes its BRAM for the
+    /// target network — so fabric experiments no longer have to
+    /// remember [`with_expected_stations`](ArpPathConfig::with_expected_stations)
+    /// by hand.
+    pub fn autosize_for_stations(mut self, stations: usize) -> Self {
+        if self.table_bucket_bits.is_none() && self.table_capacity.is_none() {
+            self.table_bucket_bits = Some(
+                arppath_switch::bucket_bits_for(stations)
+                    .max(arppath_switch::dleft::DEFAULT_BUCKET_BITS),
+            );
+        }
+        self
+    }
+
     /// The d-left geometry the path table is built with.
     pub fn geometry_bits(&self) -> u32 {
         match (self.table_bucket_bits, self.table_capacity) {
@@ -127,5 +149,25 @@ mod tests {
         assert!(ArpPathConfig::default().with_proxy().proxy);
         assert!(!ArpPathConfig::default().without_repair().repair);
         assert_eq!(ArpPathConfig::default().with_table_capacity(512).table_capacity, Some(512));
+    }
+
+    #[test]
+    fn autosize_derives_only_when_nothing_is_explicit() {
+        // Small fabrics keep the library default geometry (and thus the
+        // exact pre-autosizing traces); big ones grow with the station
+        // count, matching what with_expected_stations would have set.
+        let small = ArpPathConfig::default().autosize_for_stations(2);
+        assert_eq!(small.geometry_bits(), arppath_switch::dleft::DEFAULT_BUCKET_BITS);
+        let big = ArpPathConfig::default().autosize_for_stations(10_000);
+        assert_eq!(big.geometry_bits(), arppath_switch::bucket_bits_for(10_000));
+        assert!(big.geometry_bits() > small.geometry_bits());
+
+        // Explicit knobs win: autosizing is a no-op on top of either.
+        let manual =
+            ArpPathConfig::default().with_expected_stations(64).autosize_for_stations(10_000);
+        assert_eq!(manual.geometry_bits(), arppath_switch::bucket_bits_for(64));
+        let capped =
+            ArpPathConfig::default().with_table_capacity(512).autosize_for_stations(10_000);
+        assert_eq!(capped.table_bucket_bits, None, "capacity-derived geometry left alone");
     }
 }

@@ -21,15 +21,20 @@
 //!
 //! # Ordering contract
 //!
-//! Identical to the heap it replaces: strict `(time, seq)` order —
-//! chronological with insertion order as tie-break. The head is the
-//! minimum of the ring head (found via a two-level occupancy bitmap,
-//! O(1)) and the annex top, cached so
+//! Strict `(time, key, seq)` order: chronological, then by the
+//! caller-supplied canonical **order key**, with insertion order as
+//! the final tie-break. The engine derives the key from an event's
+//! global wire/device identity (see `engine::order_key`), which is
+//! what makes same-nanosecond coincidences resolve identically in the
+//! single-threaded and sharded engines — a heap keyed on insertion
+//! order alone would let the two engines race-resolve ties
+//! differently. The head is the minimum of the ring head (found via a
+//! two-level occupancy bitmap, O(1)) and the annex top, cached so
 //! [`head_time`](CalendarQueue::head_time) is O(1) and `&self`. All
 //! events sharing a timestamp land in one ring bucket and/or at the
 //! annex top, so [`drain_head`](CalendarQueue::drain_head) reassembles
-//! the cohort in seq order, sorting only on the rare horizon-straddle
-//! path.
+//! the cohort in `(key, seq)` order, sorting only when a cohort
+//! actually carries more than one event.
 //!
 //! The ring-window invariant that makes bucket masking sound: the
 //! cursor is the bucket of the last popped timestamp and only moves
@@ -62,17 +67,25 @@ const BITMAP_WORDS: usize = BUCKET_COUNT / 64;
 #[derive(Debug, Clone)]
 struct Entry<T> {
     time: SimTime,
+    key: u64,
     seq: u64,
     item: T,
 }
 
-/// Annex wrapper ordered by `(time, seq)` alone.
+impl<T> Entry<T> {
+    #[inline]
+    fn ord(&self) -> (SimTime, u64, u64) {
+        (self.time, self.key, self.seq)
+    }
+}
+
+/// Annex wrapper ordered by `(time, key, seq)` alone.
 #[derive(Debug, Clone)]
 struct Far<T>(Entry<T>);
 
 impl<T> PartialEq for Far<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.0.time == other.0.time && self.0.seq == other.0.seq
+        self.0.ord() == other.0.ord()
     }
 }
 impl<T> Eq for Far<T> {}
@@ -83,7 +96,7 @@ impl<T> PartialOrd for Far<T> {
 }
 impl<T> Ord for Far<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.0.time, self.0.seq).cmp(&(other.0.time, other.0.seq))
+        self.0.ord().cmp(&other.0.ord())
     }
 }
 
@@ -142,8 +155,8 @@ impl Occupancy {
     }
 }
 
-/// The queue. `T` is the event payload; ordering keys (`time`, `seq`)
-/// are supplied on push and echoed back on pop.
+/// The queue. `T` is the event payload; ordering keys (`time`, `key`,
+/// `seq`) are supplied on push and echoed back on pop.
 #[derive(Debug)]
 pub struct CalendarQueue<T> {
     /// The ring: `BUCKET_COUNT` buckets of `BUCKET_SHIFT`-wide slices
@@ -156,16 +169,17 @@ pub struct CalendarQueue<T> {
     cursor: u64,
     /// Entries in the ring.
     ring_len: usize,
-    /// Events pushed beyond the ring horizon, by `(time, seq)`; popped
-    /// directly from here when due.
+    /// Events pushed beyond the ring horizon, by `(time, key, seq)`;
+    /// popped directly from here when due.
     annex: BinaryHeap<Reverse<Far<T>>>,
-    /// Cached global minimum `(time, seq)`, kept exact on every
+    /// Cached global minimum `(time, key, seq)`, kept exact on every
     /// mutation so `head_time` is O(1) and `&self`.
-    head: Option<(SimTime, u64)>,
+    head: Option<(SimTime, u64, u64)>,
     /// Total entries (ring + annex).
     len: usize,
-    /// Reused scratch for cohorts that need a seq sort or filtering.
-    cohort: Vec<(u64, T)>,
+    /// Reused scratch for cohorts that need a `(key, seq)` sort or
+    /// filtering.
+    cohort: Vec<(u64, u64, T)>,
 }
 
 impl<T> Default for CalendarQueue<T> {
@@ -201,7 +215,7 @@ impl<T> CalendarQueue<T> {
 
     /// Timestamp of the earliest pending event. O(1).
     pub fn head_time(&self) -> Option<SimTime> {
-        self.head.map(|(t, _)| t)
+        self.head.map(|(t, _, _)| t)
     }
 
     /// Absolute bucket number of `time`.
@@ -216,27 +230,27 @@ impl<T> CalendarQueue<T> {
         (abs & (BUCKET_COUNT as u64 - 1)) as usize
     }
 
-    /// Schedule `item` at `(time, seq)`. `seq` values must be unique;
-    /// the time must not precede the last popped time — the engine's
-    /// existing no-scheduling-into-the-past invariant.
+    /// Schedule `item` at `(time, key, seq)`. `seq` values must be
+    /// unique; the time must not precede the last popped time — the
+    /// engine's existing no-scheduling-into-the-past invariant.
     ///
     /// # Panics
     /// If `time` is behind the queue's progress; accepting it would
     /// corrupt the ring-window ordering invariant.
-    pub fn push(&mut self, time: SimTime, seq: u64, item: T) {
+    pub fn push(&mut self, time: SimTime, key: u64, seq: u64, item: T) {
         let abs = Self::abs_bucket(time);
         assert!(abs >= self.cursor, "push at {time} is behind the queue's progress");
         if abs >= self.cursor + BUCKET_COUNT as u64 {
-            self.annex.push(Reverse(Far(Entry { time, seq, item })));
+            self.annex.push(Reverse(Far(Entry { time, key, seq, item })));
         } else {
             let idx = Self::ring_index(abs);
-            self.buckets[idx].push(Entry { time, seq, item });
+            self.buckets[idx].push(Entry { time, key, seq, item });
             self.occupied.set(idx);
             self.ring_len += 1;
         }
         self.len += 1;
-        if self.head.is_none_or(|h| (time, seq) < h) {
-            self.head = Some((time, seq));
+        if self.head.is_none_or(|h| (time, key, seq) < h) {
+            self.head = Some((time, key, seq));
         }
     }
 
@@ -249,19 +263,19 @@ impl<T> CalendarQueue<T> {
     }
 
     /// Recompute `head` after a removal: the minimum of the first
-    /// occupied ring bucket's `(time, seq)` (bitmap lookup) and the
-    /// annex top.
+    /// occupied ring bucket's `(time, key, seq)` (bitmap lookup) and
+    /// the annex top.
     fn rescan_head(&mut self) {
-        let mut best: Option<(SimTime, u64)> =
-            self.annex.peek().map(|Reverse(far)| (far.0.time, far.0.seq));
+        let mut best: Option<(SimTime, u64, u64)> =
+            self.annex.peek().map(|Reverse(far)| far.0.ord());
         if self.ring_len > 0 {
             let idx = self
                 .occupied
                 .next_set_circular(Self::ring_index(self.cursor))
                 .expect("ring_len > 0 but no occupied bucket");
             for e in &self.buckets[idx] {
-                if best.is_none_or(|b| (e.time, e.seq) < b) {
-                    best = Some((e.time, e.seq));
+                if best.is_none_or(|b| e.ord() < b) {
+                    best = Some(e.ord());
                 }
             }
         }
@@ -269,11 +283,11 @@ impl<T> CalendarQueue<T> {
         self.head = best;
     }
 
-    /// Remove and return the earliest event as `(time, seq, item)`.
-    pub fn pop_min(&mut self) -> Option<(SimTime, u64, T)> {
-        let (time, seq) = self.head?;
+    /// Remove and return the earliest event as `(time, key, seq, item)`.
+    pub fn pop_min(&mut self) -> Option<(SimTime, u64, u64, T)> {
+        let (time, key, seq) = self.head?;
         let from_annex =
-            self.annex.peek().is_some_and(|Reverse(far)| (far.0.time, far.0.seq) == (time, seq));
+            self.annex.peek().is_some_and(|Reverse(far)| far.0.ord() == (time, key, seq));
         let entry = if from_annex {
             let Some(Reverse(Far(entry))) = self.annex.pop() else { unreachable!() };
             entry
@@ -282,10 +296,11 @@ impl<T> CalendarQueue<T> {
             let bucket = &mut self.buckets[idx];
             let pos = bucket
                 .iter()
-                .position(|e| e.time == time && e.seq == seq)
+                .position(|e| e.ord() == (time, key, seq))
                 .expect("cached head missing from its bucket");
             // `remove`, not `swap_remove`: same-time runs keep their
-            // push (= seq) order for the drain fast path.
+            // push order, preserving the drain fast path's sortedness
+            // check for untied cohorts.
             let entry = bucket.remove(pos);
             if bucket.is_empty() {
                 self.occupied.clear(idx);
@@ -296,15 +311,15 @@ impl<T> CalendarQueue<T> {
         self.len -= 1;
         self.advance_cursor(Self::abs_bucket(time));
         self.rescan_head();
-        Some((entry.time, entry.seq, entry.item))
+        Some((entry.time, entry.key, entry.seq, entry.item))
     }
 
     /// Remove every event at the head timestamp, appending their items
-    /// to `out` in seq order, and return that timestamp. One bucket
-    /// visit and/or a run of annex pops — the engine's same-timestamp
-    /// batch drain.
+    /// to `out` in `(key, seq)` order, and return that timestamp. One
+    /// bucket visit and/or a run of annex pops — the engine's
+    /// same-timestamp batch drain.
     pub fn drain_head(&mut self, out: &mut Vec<T>) -> Option<SimTime> {
-        let (time, _) = self.head?;
+        let (time, _, _) = self.head?;
         let annex_has = self.annex.peek().is_some_and(|Reverse(far)| far.0.time == time);
         // The cohort's ring bucket, if the masked slot actually carries
         // this time (it may alias a different absolute bucket).
@@ -316,7 +331,7 @@ impl<T> CalendarQueue<T> {
             (true, true) => {
                 // A cohort straddling the horizon (part pushed before
                 // the cursor reached it, part after): gather both
-                // sides, sort by seq.
+                // sides, sort by (key, seq).
                 let mut cohort = std::mem::take(&mut self.cohort);
                 debug_assert!(cohort.is_empty());
                 let bucket = &mut self.buckets[idx];
@@ -324,7 +339,7 @@ impl<T> CalendarQueue<T> {
                 while i < bucket.len() {
                     if bucket[i].time == time {
                         let e = bucket.remove(i);
-                        cohort.push((e.seq, e.item));
+                        cohort.push((e.key, e.seq, e.item));
                     } else {
                         i += 1;
                     }
@@ -339,11 +354,11 @@ impl<T> CalendarQueue<T> {
                         break;
                     }
                     let Some(Reverse(Far(e))) = self.annex.pop() else { unreachable!() };
-                    cohort.push((e.seq, e.item));
+                    cohort.push((e.key, e.seq, e.item));
                     self.len -= 1;
                 }
-                cohort.sort_unstable_by_key(|(seq, _)| *seq);
-                out.extend(cohort.drain(..).map(|(_, item)| item));
+                cohort.sort_unstable_by_key(|&(key, seq, _)| (key, seq));
+                out.extend(cohort.drain(..).map(|(_, _, item)| item));
                 self.cohort = cohort;
             }
             (false, false) => unreachable!("cached head in neither structure"),
@@ -357,11 +372,12 @@ impl<T> CalendarQueue<T> {
     fn drain_ring_cohort(&mut self, idx: usize, time: SimTime, out: &mut Vec<T>) {
         let bucket = &mut self.buckets[idx];
         // Fast path for the overwhelmingly common case: the bucket
-        // holds exactly the head cohort, already in push (= seq) order.
-        let mut prev_seq = None;
+        // holds exactly the head cohort, already in (key, seq) order —
+        // always true for the single-event cohorts that dominate.
+        let mut prev: Option<(u64, u64)> = None;
         let uniform = bucket.iter().all(|e| {
-            let ok = e.time == time && prev_seq < Some(e.seq);
-            prev_seq = Some(e.seq);
+            let ok = e.time == time && prev < Some((e.key, e.seq));
+            prev = Some((e.key, e.seq));
             ok
         });
         if uniform {
@@ -371,16 +387,15 @@ impl<T> CalendarQueue<T> {
             self.occupied.clear(idx);
             return;
         }
-        // Mixed bucket: extract matches preserving relative order
-        // (push order = seq order for same-time entries), keep the
-        // rest.
+        // Mixed bucket: extract matches, sort the cohort into the
+        // canonical (key, seq) order, keep the rest.
         let mut cohort = std::mem::take(&mut self.cohort);
         debug_assert!(cohort.is_empty());
         let mut i = 0;
         while i < bucket.len() {
             if bucket[i].time == time {
                 let e = bucket.remove(i);
-                cohort.push((e.seq, e.item));
+                cohort.push((e.key, e.seq, e.item));
             } else {
                 i += 1;
             }
@@ -390,13 +405,13 @@ impl<T> CalendarQueue<T> {
         if bucket.is_empty() {
             self.occupied.clear(idx);
         }
-        debug_assert!(cohort.windows(2).all(|w| w[0].0 < w[1].0), "bucket lost seq order");
-        out.extend(cohort.drain(..).map(|(_, item)| item));
+        cohort.sort_unstable_by_key(|&(key, seq, _)| (key, seq));
+        out.extend(cohort.drain(..).map(|(_, _, item)| item));
         self.cohort = cohort;
     }
 
     /// Drain the `time` cohort off the top of the annex heap (pops
-    /// arrive in `(time, seq)` order — already sorted).
+    /// arrive in `(time, key, seq)` order — already sorted).
     fn drain_annex_cohort(&mut self, time: SimTime, out: &mut Vec<T>) {
         while let Some(Reverse(far)) = self.annex.peek() {
             if far.0.time != time {
@@ -419,15 +434,15 @@ mod tests {
     }
 
     #[test]
-    fn pops_in_time_then_seq_order() {
+    fn pops_in_time_key_then_seq_order() {
         let mut q = CalendarQueue::new();
-        q.push(t(500), 0, "a");
-        q.push(t(100), 1, "b");
-        q.push(t(100), 2, "c");
-        q.push(t(2_000_000_000), 3, "far"); // straight to the annex
-        q.push(t(30), 4, "d");
+        q.push(t(500), 0, 0, "a");
+        q.push(t(100), 0, 1, "b");
+        q.push(t(100), 0, 2, "c");
+        q.push(t(2_000_000_000), 0, 3, "far"); // straight to the annex
+        q.push(t(30), 0, 4, "d");
         let mut got = Vec::new();
-        while let Some((time, seq, item)) = q.pop_min() {
+        while let Some((time, _, seq, item)) = q.pop_min() {
             got.push((time.as_nanos(), seq, item));
         }
         assert_eq!(
@@ -443,12 +458,31 @@ mod tests {
     }
 
     #[test]
+    fn key_outranks_insertion_order_within_an_instant() {
+        // The canonical key decides same-instant order; insertion
+        // sequence only breaks exact key ties. Both ring (near) and
+        // annex (far) territory must agree on this.
+        for base in [100u64, 50_000_000] {
+            let mut q = CalendarQueue::new();
+            q.push(t(base), 9, 0, "k9");
+            q.push(t(base), 2, 1, "k2-first");
+            q.push(t(base), 2, 2, "k2-second");
+            q.push(t(base), 0, 3, "k0");
+            let mut got = Vec::new();
+            while let Some((_, _, _, item)) = q.pop_min() {
+                got.push(item);
+            }
+            assert_eq!(got, vec!["k0", "k2-first", "k2-second", "k9"], "base {base}");
+        }
+    }
+
+    #[test]
     fn drain_head_takes_exactly_the_head_cohort() {
         let mut q = CalendarQueue::new();
-        q.push(t(100), 0, 'a');
-        q.push(t(100), 1, 'b');
-        q.push(t(101), 2, 'x'); // same bucket, later time
-        q.push(t(100), 3, 'c');
+        q.push(t(100), 0, 0, 'a');
+        q.push(t(100), 0, 1, 'b');
+        q.push(t(101), 0, 2, 'x'); // same bucket, later time
+        q.push(t(100), 0, 3, 'c');
         let mut out = Vec::new();
         assert_eq!(q.drain_head(&mut out), Some(t(100)));
         assert_eq!(out, vec!['a', 'b', 'c']);
@@ -461,16 +495,33 @@ mod tests {
     }
 
     #[test]
+    fn drain_head_sorts_a_key_tied_cohort() {
+        // A same-instant cohort pushed in anti-key order, sharing its
+        // bucket with a later event that must stay behind.
+        let mut q = CalendarQueue::new();
+        q.push(t(100), 5, 0, "k5");
+        q.push(t(100), 1, 1, "k1");
+        q.push(t(110), 0, 2, "later");
+        q.push(t(100), 3, 3, "k3");
+        let mut out = Vec::new();
+        assert_eq!(q.drain_head(&mut out), Some(t(100)));
+        assert_eq!(out, vec!["k1", "k3", "k5"]);
+        out.clear();
+        assert_eq!(q.drain_head(&mut out), Some(t(110)));
+        assert_eq!(out, vec!["later"]);
+    }
+
+    #[test]
     fn annex_events_pop_when_due() {
         let mut q = CalendarQueue::new();
         // Far beyond the ~33 µs horizon from cursor 0.
-        q.push(t(10_000_000), 0, "timer1");
-        q.push(t(5_000_000), 1, "timer2");
-        q.push(t(100), 2, "near");
-        assert_eq!(q.pop_min().map(|(_, _, i)| i), Some("near"));
+        q.push(t(10_000_000), 0, 0, "timer1");
+        q.push(t(5_000_000), 0, 1, "timer2");
+        q.push(t(100), 0, 2, "near");
+        assert_eq!(q.pop_min().map(|(_, _, _, i)| i), Some("near"));
         assert_eq!(q.head_time(), Some(t(5_000_000)));
-        assert_eq!(q.pop_min().map(|(_, _, i)| i), Some("timer2"));
-        assert_eq!(q.pop_min().map(|(_, _, i)| i), Some("timer1"));
+        assert_eq!(q.pop_min().map(|(_, _, _, i)| i), Some("timer2"));
+        assert_eq!(q.pop_min().map(|(_, _, _, i)| i), Some("timer1"));
         assert!(q.is_empty());
     }
 
@@ -479,41 +530,43 @@ mod tests {
         // Ring drains while a far timer waits in the annex; events then
         // pushed near the present must still pop first, in order.
         let mut q = CalendarQueue::new();
-        q.push(t(10_000_000), 0, 0u64);
-        q.push(t(100), 1, 1);
-        assert_eq!(q.pop_min().map(|(_, s, _)| s), Some(1));
+        q.push(t(10_000_000), 0, 0, 0u64);
+        q.push(t(100), 0, 1, 1);
+        assert_eq!(q.pop_min().map(|(_, _, s, _)| s), Some(1));
         assert_eq!(q.head_time(), Some(t(10_000_000)), "far timer heads the queue");
         // The popped event's handler schedules follow-ups just after.
-        q.push(t(772), 2, 2);
-        q.push(t(772), 3, 3);
-        q.push(t(900), 4, 4);
+        q.push(t(772), 0, 2, 2);
+        q.push(t(772), 0, 3, 3);
+        q.push(t(900), 0, 4, 4);
         assert_eq!(q.head_time(), Some(t(772)));
         let mut out = Vec::new();
         assert_eq!(q.drain_head(&mut out), Some(t(772)));
         assert_eq!(out, vec![2, 3]);
-        assert_eq!(q.pop_min().map(|(_, s, _)| s), Some(4));
-        assert_eq!(q.pop_min().map(|(_, s, _)| s), Some(0));
+        assert_eq!(q.pop_min().map(|(_, _, s, _)| s), Some(4));
+        assert_eq!(q.pop_min().map(|(_, _, s, _)| s), Some(0));
         assert!(q.is_empty());
     }
 
     #[test]
-    fn cohort_straddling_the_horizon_drains_in_seq_order() {
+    fn cohort_straddling_the_horizon_drains_in_key_seq_order() {
         let mut q = CalendarQueue::new();
-        // seq 0 at t=40µs goes to the annex (beyond the horizon as
+        // Key 7 at t=40µs goes to the annex (beyond the horizon as
         // seen from cursor 0)...
-        q.push(t(40_000), 0, 0u64);
-        q.push(t(10_000), 1, 1);
+        q.push(t(40_000), 7, 0, 0u64);
+        q.push(t(10_000), 0, 1, 1);
         // ...pop the nearer event so the cursor advances and t=40µs
         // falls inside the ring window...
-        assert_eq!(q.pop_min().map(|(_, s, _)| s), Some(1));
+        assert_eq!(q.pop_min().map(|(_, _, s, _)| s), Some(1));
         // ...then push same-time events directly into the ring. The
-        // cohort now spans annex (seq 0) and ring (seqs 2, 3); drain
-        // must still yield seq order.
-        q.push(t(40_000), 2, 2);
-        q.push(t(40_000), 3, 3);
+        // cohort now spans annex (key 7) and ring (keys 9 and 2);
+        // drain must interleave the two sides into (key, seq) order —
+        // the ring entry with the smaller key comes out first even
+        // though the annex side was pushed earlier.
+        q.push(t(40_000), 9, 2, 2);
+        q.push(t(40_000), 2, 3, 3);
         let mut out = Vec::new();
         assert_eq!(q.drain_head(&mut out), Some(t(40_000)));
-        assert_eq!(out, vec![0, 2, 3]);
+        assert_eq!(out, vec![3, 0, 2]);
         assert!(q.is_empty());
     }
 
@@ -536,84 +589,92 @@ mod tests {
     #[should_panic(expected = "behind the queue's progress")]
     fn pushing_into_the_past_panics() {
         let mut q = CalendarQueue::new();
-        q.push(t(5_000_000), 0, ());
+        q.push(t(5_000_000), 0, 0, ());
         let _ = q.pop_min();
-        q.push(t(100), 1, ());
+        q.push(t(100), 0, 1, ());
     }
 
     proptest! {
         #[test]
         fn matches_binary_heap_reference(
-            ops in proptest::collection::vec((0u8..4, 0u64..200_000, 0u8..4), 1..200),
+            ops in proptest::collection::vec((0u8..4, 0u64..200_000, 0u8..4, 0u64..4), 1..200),
         ) {
             // Random interleaving of pushes (at now + delta, with
-            // deltas spanning ring and annex territory) and pops; the
-            // calendar queue must pop the exact (time, seq) sequence a
-            // binary heap does.
+            // deltas spanning ring and annex territory, keys drawn from
+            // a small alphabet so same-instant key collisions and
+            // inversions both occur) and pops; the calendar queue must
+            // pop the exact (time, key, seq) sequence a binary heap
+            // does.
             let mut cal = CalendarQueue::new();
-            let mut heap: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+            let mut heap: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
             let mut seq = 0u64;
             let mut now = SimTime::ZERO;
-            for (op, delta, burst) in ops {
+            for (op, delta, burst, key) in ops {
                 if op == 0 {
                     // pop (possibly empty)
-                    let got = cal.pop_min().map(|(time, s, ())| (time, s));
+                    let got = cal.pop_min().map(|(time, k, s, ())| (time, k, s));
                     let want = heap.pop().map(|Reverse(k)| k);
                     prop_assert_eq!(got, want);
-                    if let Some((time, _)) = got {
+                    if let Some((time, _, _)) = got {
                         now = time;
                     }
                 } else {
                     // push a small same-time burst to exercise seq ties
                     let time = now + crate::SimDuration::nanos(delta);
-                    for _ in 0..=burst {
-                        cal.push(time, seq, ());
-                        heap.push(Reverse((time, seq)));
+                    for i in 0..=burst as u64 {
+                        // vary the key within the burst so bursts are
+                        // pushed out of canonical order
+                        let k = (key + i) % 4;
+                        cal.push(time, k, seq, ());
+                        heap.push(Reverse((time, k, seq)));
                         seq += 1;
                     }
                 }
-                prop_assert_eq!(cal.head_time(), heap.peek().map(|Reverse((time, _))| *time));
+                prop_assert_eq!(cal.head_time(), heap.peek().map(|Reverse((time, _, _))| *time));
                 prop_assert_eq!(cal.len(), heap.len());
             }
             // Full drain at the end must agree too.
             while let Some(Reverse(want)) = heap.pop() {
-                prop_assert_eq!(cal.pop_min().map(|(time, s, ())| (time, s)), Some(want));
+                prop_assert_eq!(cal.pop_min().map(|(time, k, s, ())| (time, k, s)), Some(want));
             }
             prop_assert!(cal.is_empty());
         }
 
         #[test]
         fn drain_head_equals_repeated_pops(
-            ops in proptest::collection::vec((0u8..2, 1u64..100_000, 0u8..3), 1..64),
+            ops in proptest::collection::vec((0u8..2, 1u64..100_000, 0u8..3, 0u64..3), 1..64),
         ) {
             // Two queues fed identically (with interleaved pops that
             // advance the cursor); draining batches from one must
             // equal single-popping the other. Times cluster on 1 µs
             // grid points so same-timestamp batches occur, and reach
-            // far enough to land cohorts on both sides of the horizon.
+            // far enough to land cohorts on both sides of the horizon
+            // — including the straddle re-sort path, with keys pushed
+            // out of order so the re-sort actually has work to do.
             let mut a = CalendarQueue::new();
             let mut b = CalendarQueue::new();
             let mut seq = 0u64;
             let mut now = 0u64;
-            for (op, delta, burst) in ops {
+            for (op, delta, burst, key) in ops {
                 if op == 0 && !a.is_empty() {
-                    let (time, s, _) = a.pop_min().expect("non-empty");
-                    let (bt, bs, _) = b.pop_min().expect("b matches");
-                    prop_assert_eq!((time, s), (bt, bs));
+                    let (time, k, s, _) = a.pop_min().expect("non-empty");
+                    let (bt, bk, bs, _) = b.pop_min().expect("b matches");
+                    prop_assert_eq!((time, k, s), (bt, bk, bs));
                     now = time.as_nanos();
                     continue;
                 }
                 let time = t(now + (delta / 1_000) * 1_000);
-                for _ in 0..=burst {
-                    a.push(time, seq, seq);
-                    b.push(time, seq, seq);
+                for i in 0..=burst as u64 {
+                    let k = 2u64.wrapping_sub(key.wrapping_add(i)) % 3; // anti-sorted keys
+                    a.push(time, k, seq, seq);
+                    b.push(time, k, seq, seq);
                     seq += 1;
                 }
             }
             let mut batch = Vec::new();
             while let Some(time) = a.drain_head(&mut batch) {
                 for item in batch.drain(..) {
-                    let (bt, bs, bi) = b.pop_min().expect("b drained early");
+                    let (bt, _, bs, bi) = b.pop_min().expect("b drained early");
                     prop_assert_eq!((bt, bs), (time, item));
                     prop_assert_eq!(bi, item);
                 }

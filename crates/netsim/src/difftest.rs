@@ -1,0 +1,345 @@
+//! Differential trace testing: run one scenario under two engines,
+//! compare the merged delivery traces, and shrink any divergence to a
+//! minimal reproducer.
+//!
+//! The sharded engine's contract is **trace identity** — the merged,
+//! timestamp-sorted delivery trace of a sharded run must be
+//! byte-for-byte identical to the single-threaded engine's on the same
+//! scenario (see [`crate::sharded`]). This module is the
+//! race-detector-style harness that holds the contract under *random*
+//! scenarios rather than the handful the equivalence suite pins:
+//!
+//! 1. A scenario type implements [`DiffScenario`]: how to produce the
+//!    reference trace, the candidate trace, and a list of strictly
+//!    smaller variants of itself ([`DiffScenario::shrink`]).
+//! 2. [`check`] runs both engines (panics captured, not propagated)
+//!    and multiset-compares the traces ([`compare`]).
+//! 3. On a failure, [`minimize`] greedily descends through `shrink`
+//!    variants that still fail, yielding the smallest reproducer the
+//!    shrink lattice can express — which the caller serializes into a
+//!    `#[test]`-replayable spec.
+//!
+//! The harness is deliberately engine- and scenario-agnostic: traces
+//! are just sorted `Vec<String>` artifacts, so the same machinery can
+//! diff single-vs-sharded runs, step-vs-batch schedules, or any future
+//! engine pair. The concrete fat-tree scenario generator lives in the
+//! bench crate (`arppath_bench::difftest`), next to the experiment
+//! code it borrows; `repro -- difftest` is its CLI.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Everything [`check`] can conclude about one scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Both engines produced byte-identical traces.
+    Identical,
+    /// Both engines completed but their traces differ.
+    Diverged(Divergence),
+    /// An engine panicked — counted as a failure just like a
+    /// divergence (an unsound horizon often dies on an `inject_at`
+    /// time-travel assertion before it can mis-order anything).
+    Crashed {
+        /// Which run died: `"reference"` or `"candidate"`.
+        engine: &'static str,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl Outcome {
+    /// `true` for [`Outcome::Diverged`] and [`Outcome::Crashed`] — the
+    /// states [`minimize`] tries to preserve while shrinking.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, Outcome::Identical)
+    }
+}
+
+/// Summary of a trace mismatch, multiset-style: line order within a
+/// timestamp is already canonical in rendered traces, so any
+/// difference is a genuine behavioural one, and counting unmatched
+/// records on each side localizes it better than a positional diff
+/// (one extra early record would otherwise mismatch every later line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Records only the reference produced.
+    pub only_reference: usize,
+    /// Records only the candidate produced.
+    pub only_candidate: usize,
+    /// The earliest record present in exactly one trace.
+    pub first: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} record(s) only in reference, {} only in candidate; earliest: {}",
+            self.only_reference, self.only_candidate, self.first
+        )
+    }
+}
+
+/// One differentially-testable scenario: a pure description from which
+/// both engines' traces can be produced, plus a shrink lattice for
+/// minimization. Implementations must be deterministic — `check`
+/// re-runs a spec during shrinking and assumes identical results.
+pub trait DiffScenario {
+    /// The trusted engine's merged, timestamp-sorted delivery trace.
+    fn run_reference(&self) -> Vec<String>;
+    /// The engine under test, same scenario, same trace rendering.
+    fn run_candidate(&self) -> Vec<String>;
+    /// Strictly smaller variants of this scenario, most aggressive
+    /// shrinks first (delta debugging descends greedily, so ordering
+    /// by expected size reduction minimizes re-runs). Return an empty
+    /// vector when already minimal.
+    fn shrink(&self) -> Vec<Self>
+    where
+        Self: Sized;
+    /// One-line human/machine-readable description — the serialized
+    /// reproducer emitted with a failure.
+    fn describe(&self) -> String;
+}
+
+/// Multiset-compare two rendered traces.
+pub fn compare(reference: &[String], candidate: &[String]) -> Outcome {
+    use std::collections::BTreeMap;
+    let mut count: BTreeMap<&str, i64> = BTreeMap::new();
+    for l in reference {
+        *count.entry(l).or_default() += 1;
+    }
+    for l in candidate {
+        *count.entry(l).or_default() -= 1;
+    }
+    let mut only_reference = 0usize;
+    let mut only_candidate = 0usize;
+    let mut first: Option<&str> = None;
+    // BTreeMap iterates records lexicographically; traces lead with a
+    // fixed-width-free timestamp, so "earliest" here means smallest
+    // rendered record — stable and good enough to anchor a report.
+    for (l, c) in count {
+        match c.cmp(&0) {
+            std::cmp::Ordering::Greater => only_reference += c as usize,
+            std::cmp::Ordering::Less => only_candidate += (-c) as usize,
+            std::cmp::Ordering::Equal => continue,
+        }
+        first.get_or_insert(l);
+    }
+    match first {
+        None => Outcome::Identical,
+        Some(l) => {
+            Outcome::Diverged(Divergence { only_reference, only_candidate, first: l.to_string() })
+        }
+    }
+}
+
+/// Extract a printable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Silences the global panic hook for its lifetime, restoring the
+/// previous hook on drop. Crashing variants are an *expected* outcome
+/// while fuzzing and minimizing; without this every probed crash
+/// sprays a backtrace over the report.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+struct QuietPanics {
+    prev: Option<PanicHook>,
+}
+
+impl QuietPanics {
+    fn new() -> Self {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics { prev: Some(prev) }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+/// Run one scenario under both engines and compare. Panics in either
+/// run are captured as [`Outcome::Crashed`], never propagated — the
+/// fuzzer and the minimizer both need to survive a crashing variant.
+pub fn check<S: DiffScenario>(scenario: &S) -> Outcome {
+    let _quiet = QuietPanics::new();
+    let reference = match catch_unwind(AssertUnwindSafe(|| scenario.run_reference())) {
+        Ok(t) => t,
+        Err(e) => return Outcome::Crashed { engine: "reference", message: panic_message(e) },
+    };
+    let candidate = match catch_unwind(AssertUnwindSafe(|| scenario.run_candidate())) {
+        Ok(t) => t,
+        Err(e) => return Outcome::Crashed { engine: "candidate", message: panic_message(e) },
+    };
+    compare(&reference, &candidate)
+}
+
+/// Result of a [`minimize`] run.
+#[derive(Debug, Clone)]
+pub struct Minimized<S> {
+    /// The smallest still-failing scenario found.
+    pub scenario: S,
+    /// Its failure (never [`Outcome::Identical`]).
+    pub outcome: Outcome,
+    /// Scenario executions spent shrinking (each runs both engines).
+    pub attempts: usize,
+}
+
+/// Greedy delta debugging: starting from a scenario whose `outcome`
+/// failed, repeatedly replace it with the first [`DiffScenario::shrink`]
+/// variant that still fails, until no variant fails or `budget`
+/// executions are spent. Returns `None` if `outcome` was not a failure
+/// to begin with.
+pub fn minimize<S: DiffScenario>(
+    scenario: S,
+    outcome: Outcome,
+    budget: usize,
+) -> Option<Minimized<S>> {
+    if !outcome.is_failure() {
+        return None;
+    }
+    let mut best = Minimized { scenario, outcome, attempts: 0 };
+    'descend: loop {
+        for candidate in best.scenario.shrink() {
+            if best.attempts >= budget {
+                break 'descend;
+            }
+            best.attempts += 1;
+            let outcome = check(&candidate);
+            if outcome.is_failure() {
+                best.scenario = candidate;
+                best.outcome = outcome;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic scenario over an integer "size": the candidate
+    /// engine corrupts one record whenever `size` is at least `bug_at`,
+    /// and sizes shrink one step at a time. Minimization must land
+    /// exactly on `bug_at`.
+    #[derive(Clone)]
+    struct Toy {
+        size: u64,
+        bug_at: u64,
+        panic_at: Option<u64>,
+    }
+
+    impl DiffScenario for Toy {
+        fn run_reference(&self) -> Vec<String> {
+            (0..self.size).map(|i| format!("{i} ok")).collect()
+        }
+        fn run_candidate(&self) -> Vec<String> {
+            if self.panic_at.is_some_and(|p| self.size >= p) {
+                panic!("candidate exploded at size {}", self.size);
+            }
+            (0..self.size)
+                .map(|i| {
+                    if self.size >= self.bug_at && i == self.size / 2 {
+                        format!("{i} CORRUPT")
+                    } else {
+                        format!("{i} ok")
+                    }
+                })
+                .collect()
+        }
+        fn shrink(&self) -> Vec<Self> {
+            if self.size == 0 {
+                return Vec::new();
+            }
+            vec![Toy { size: self.size - 1, ..*self }]
+        }
+        fn describe(&self) -> String {
+            format!("size={}", self.size)
+        }
+    }
+
+    impl Copy for Toy {}
+
+    #[test]
+    fn identical_traces_compare_identical() {
+        let t = vec!["1 a".to_string(), "2 b".to_string()];
+        assert_eq!(compare(&t, &t.clone()), Outcome::Identical);
+    }
+
+    #[test]
+    fn compare_counts_both_sides_and_reports_the_earliest() {
+        let reference = vec!["1 a".to_string(), "2 b".to_string(), "3 c".to_string()];
+        let candidate = vec!["1 a".to_string(), "2 X".to_string(), "3 c".to_string()];
+        match compare(&reference, &candidate) {
+            Outcome::Diverged(d) => {
+                assert_eq!(d.only_reference, 1);
+                assert_eq!(d.only_candidate, 1);
+                assert_eq!(d.first, "2 X"); // lexicographically earliest unmatched
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_is_a_multiset_not_a_set() {
+        // Same set of lines, different multiplicities: must diverge.
+        let reference = vec!["1 a".to_string(), "1 a".to_string()];
+        let candidate = vec!["1 a".to_string()];
+        assert!(compare(&reference, &candidate).is_failure());
+    }
+
+    #[test]
+    fn check_detects_and_minimize_lands_on_the_boundary() {
+        let toy = Toy { size: 57, bug_at: 13, panic_at: None };
+        let outcome = check(&toy);
+        assert!(outcome.is_failure());
+        let min = minimize(toy, outcome, 10_000).expect("failure in, report out");
+        assert_eq!(min.scenario.size, 13, "smallest size that still reproduces");
+        assert!(min.outcome.is_failure());
+        assert!(min.attempts >= (57 - 13), "one check per shrink step at minimum");
+    }
+
+    #[test]
+    fn check_captures_candidate_panics_as_crashes() {
+        let toy = Toy { size: 8, bug_at: u64::MAX, panic_at: Some(5) };
+        match check(&toy) {
+            Outcome::Crashed { engine, message } => {
+                assert_eq!(engine, "candidate");
+                assert!(message.contains("exploded at size 8"), "got: {message}");
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+        // Minimization shrinks a crash the same way it shrinks a
+        // divergence: down to the smallest size that still dies.
+        let min = minimize(toy, check(&toy), 1000).unwrap();
+        assert_eq!(min.scenario.size, 5);
+    }
+
+    #[test]
+    fn minimize_respects_its_budget() {
+        let toy = Toy { size: 1000, bug_at: 1, panic_at: None };
+        let min = minimize(toy, check(&toy), 7).unwrap();
+        assert_eq!(min.attempts, 7);
+        assert_eq!(min.scenario.size, 1000 - 7);
+    }
+
+    #[test]
+    fn minimize_refuses_a_passing_start() {
+        let toy = Toy { size: 4, bug_at: 100, panic_at: None };
+        assert!(minimize(toy, check(&toy), 100).is_none());
+    }
+}

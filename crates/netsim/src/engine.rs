@@ -11,11 +11,22 @@
 //! event handler schedules *at the same instant* (zero-delay timers,
 //! injected frames) land after the current batch — they are drained as
 //! a follow-up batch before the clock moves — so the observable order
-//! is always `(time, seq)`: chronological, with insertion order as the
-//! tiebreak. This is byte-identical to processing one event at a time
-//! with [`Network::step`], which `tests/engine_batching.rs` asserts at
-//! the trace level; batching only removes per-event heap interleaving
-//! and allocation churn from the hot path, it never reorders.
+//! is always `(time, key, seq)`: chronological, then by a **canonical
+//! order key** derived from the event's physical identity (which wire
+//! a frame arrives on, which device a timer belongs to — see
+//! `Network::order_key`), with insertion order as the final
+//! tiebreak. The canonical key is what makes same-nanosecond
+//! coincidences — two copies of a flood reaching one switch on two
+//! ports in the same instant — resolve identically in this engine and
+//! in the sharded engine ([`crate::sharded`]), whose shards assign
+//! insertion sequence numbers independently and therefore cannot
+//! reproduce a global insertion order. Within one `(time, key)` cell
+//! the tie domain is a single wire direction or a single device, where
+//! insertion order *is* reproducible shard-locally. This batched order
+//! is byte-identical to processing one event at a time with
+//! [`Network::step`], which `tests/engine_batching.rs` asserts at the
+//! trace level; batching only removes per-event heap interleaving and
+//! allocation churn from the hot path, it never reorders.
 //!
 //! Two further hot-path choices matter for scale. Device callbacks
 //! cannot borrow the engine, so their side effects are *deferred
@@ -153,6 +164,16 @@ pub struct NetworkBuilder {
     /// table beats hashing and — unlike a `HashMap` — has a
     /// deterministic layout from construction on.
     port_map: Vec<Vec<Option<(LinkId, Dir)>>>,
+    /// Per-link canonical wire ids, one per direction, used in the
+    /// same-instant event order. Defaults to `[2·id, 2·id + 1]`; the
+    /// sharded builder overrides them with *global* link identity so
+    /// every shard — and the single-threaded reference — sorts
+    /// same-nanosecond coincidences identically.
+    link_order_keys: Vec<[u64; 2]>,
+    /// Per-node canonical ids for the same-instant order of
+    /// device-local events (timers). Defaults to the node id; the
+    /// sharded builder overrides with global node ids.
+    node_order_keys: Vec<u64>,
     tracer: Option<Box<dyn Tracer>>,
 }
 
@@ -173,7 +194,22 @@ impl NetworkBuilder {
         let id = NodeId(self.devices.len());
         self.devices.push(device);
         self.port_map.push(Vec::new());
+        self.node_order_keys.push(id.0 as u64);
         id
+    }
+
+    /// Override the canonical per-direction wire ids of `link` used to
+    /// order same-instant events (see `Network::order_key`). The
+    /// sharded builder maps shard-local half-links back to their global
+    /// link identity with this.
+    pub fn set_link_order_keys(&mut self, link: LinkId, keys: [u64; 2]) {
+        self.link_order_keys[link.0] = keys;
+    }
+
+    /// Override the canonical id of `node` used to order same-instant
+    /// device-local events (see `Network::order_key`).
+    pub fn set_node_order_key(&mut self, node: NodeId, key: u64) {
+        self.node_order_keys[node.0] = key;
     }
 
     /// Cable `(a, a_port)` to `(b, b_port)` with `params`.
@@ -212,6 +248,7 @@ impl NetworkBuilder {
             row[ep.port.0] = Some((id, dir));
         }
         self.links.push(Link::new(ea, eb, params));
+        self.link_order_keys.push([2 * id.0 as u64, 2 * id.0 as u64 + 1]);
         id
     }
 
@@ -235,6 +272,8 @@ impl NetworkBuilder {
             // per-port table the hot path indexes: move it as-is.
             port_table: self.port_map,
             ports_up,
+            link_order_keys: self.link_order_keys,
+            node_order_keys: self.node_order_keys,
             queue: CalendarQueue::new(),
             now: SimTime::ZERO,
             seq: 0,
@@ -258,6 +297,10 @@ pub struct Network {
     /// uncabled ports.
     port_table: Vec<Vec<Option<(LinkId, Dir)>>>,
     ports_up: Vec<Vec<bool>>,
+    /// Canonical per-direction wire ids (see `Network::order_key`).
+    link_order_keys: Vec<[u64; 2]>,
+    /// Canonical device ids (see `Network::order_key`).
+    node_order_keys: Vec<u64>,
     queue: CalendarQueue<EventKind>,
     now: SimTime,
     seq: u64,
@@ -410,9 +453,16 @@ impl Network {
     ///
     /// This is the reference single-event semantics the batched run
     /// loops are asserted against; experiment harnesses should prefer
-    /// [`Network::run_until`] / [`Network::run_until_idle`].
+    /// [`Network::run_until`] / [`Network::run_until_idle`]. One
+    /// corner differs from batching: an event a handler pushes *at the
+    /// current instant* with a lower canonical key than events still
+    /// pending there pops immediately here, but lands in a follow-up
+    /// batch under [`Network::step_batch`]. That requires a zero-delay
+    /// event colliding with a pending same-instant cohort — none of
+    /// the repository's scenarios produce one (propagation and
+    /// serialization are nonzero), and the equivalence suite holds.
     pub fn step(&mut self) -> Option<SimTime> {
-        let (time, _seq, kind) = self.queue.pop_min()?;
+        let (time, _key, _seq, kind) = self.queue.pop_min()?;
         debug_assert!(time >= self.now, "event queue went backwards");
         self.now = time;
         self.stats.events += 1;
@@ -423,10 +473,12 @@ impl Network {
     /// Drain and process the entire batch of pending events that share
     /// the earliest timestamp, provided it is `<= bound`. Returns `true`
     /// if a batch ran. Events that handlers push *at the batch's own
-    /// instant* are not part of this batch (their insertion sequence
-    /// numbers are higher than everything already pending); the next
-    /// call drains them as a follow-up batch at the same time, which is
-    /// exactly the `(time, seq)` order single-stepping would visit.
+    /// instant* are not part of this batch (the cohort was fully
+    /// removed from the queue before processing began); the next call
+    /// drains them as a follow-up batch at the same time, which is
+    /// exactly the order single-stepping would visit, since their
+    /// insertion sequence numbers are higher than everything already
+    /// pending.
     pub fn step_batch(&mut self, bound: SimTime) -> bool {
         let Some(time) = self.queue.head_time() else { return false };
         if time > bound {
@@ -435,7 +487,7 @@ impl Network {
         debug_assert!(time >= self.now, "event queue went backwards");
         // One calendar-bucket pass moves the whole same-instant run out
         // of the queue before touching any device, into a buffer reused
-        // across batches, in ascending seq order.
+        // across batches, in canonical (key, seq) order.
         let mut batch = std::mem::take(&mut self.batch);
         debug_assert!(batch.is_empty());
         let drained = self.queue.drain_head(&mut batch);
@@ -494,10 +546,44 @@ impl Network {
         self.dispatch(node, |dev, ctx| dev.on_frame(port, frame, ctx));
     }
 
+    /// The canonical same-instant ordering key of an event: a tier (what
+    /// kind of thing happens) in the top bits, then the event's physical
+    /// identity — which wire a frame travels, which device a timer
+    /// belongs to. Within one instant, frame **arrivals** process first
+    /// (in wire order), then transmit completions, then timers, then
+    /// admin events and watchdogs. The identity components come from
+    /// [`Network::set_link_order_keys`] / [`Network::set_node_order_key`]
+    /// (defaulting to local ids), so a sharded build that maps them to
+    /// global ids orders every coincidence exactly like the
+    /// single-threaded reference — insertion order, which differs
+    /// between the engines, only breaks ties *within* one wire
+    /// direction or one device, where both engines agree on it.
+    fn order_key(&self, kind: &EventKind) -> u64 {
+        const TIER: u32 = 60;
+        let wire = |link: &LinkId, dir: Dir| self.link_order_keys[link.0][dir.index()];
+        match kind {
+            EventKind::Deliver { link, dir, .. } => wire(link, *dir),
+            EventKind::Inject { node, port, .. } => {
+                match self.port_table[node.0].get(port.0).copied().flatten() {
+                    // An injected frame is an arrival travelling *into*
+                    // the port, i.e. opposite the port's send direction.
+                    Some((link, dir)) => wire(&link, dir.flip()),
+                    // Uncabled test-hook ingress: after every real wire.
+                    None => (1 << (TIER - 1)) | ((node.0 as u64) << 16) | port.0 as u64,
+                }
+            }
+            EventKind::TxDone { link, dir, .. } => (1 << TIER) | wire(link, *dir),
+            EventKind::Timer { node, .. } => (2 << TIER) | self.node_order_keys[node.0],
+            EventKind::LinkAdmin { link, .. } => (3 << TIER) | self.link_order_keys[link.0][0],
+            EventKind::Watchdog { link, dir, .. } => (4 << TIER) | wire(link, *dir),
+        }
+    }
+
     fn push_at(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(time, seq, kind);
+        let key = self.order_key(&kind);
+        self.queue.push(time, key, seq, kind);
     }
 
     fn trace(&mut self, event: TraceEvent<'_>) {

@@ -49,6 +49,7 @@
 
 pub mod calq;
 pub mod device;
+pub mod difftest;
 pub mod engine;
 pub mod link;
 pub mod pfc;
@@ -58,6 +59,7 @@ pub mod trace;
 
 pub use calq::CalendarQueue;
 pub use device::{Command, Ctx, Device, NodeId, PortNo, TimerToken};
+pub use difftest::{DiffScenario, Divergence, Minimized, Outcome};
 pub use engine::{Network, NetworkBuilder, NetworkStats};
 pub use link::{
     Admission, Dir, DirStats, Endpoint, Link, LinkId, LinkParams, PauseWatchdog, PortQueue,

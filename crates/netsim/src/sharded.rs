@@ -38,29 +38,28 @@
 //!
 //! # Determinism
 //!
-//! Within a shard events keep the engine's `(time, seq)` order.
-//! Incoming cross-shard frames are sorted by `(delivery time, global
-//! link id, direction, per-link sequence)` before injection, so the
-//! merged execution is a pure function of the scenario — thread
-//! scheduling never reorders anything. The observable contract, which
-//! `tests/sharded_equivalence.rs` pins, is **trace identity**: the
-//! merged, timestamp-sorted delivery trace ([`DeliveryTracer`]) of a
-//! sharded run is byte-for-byte identical to the single-threaded
-//! engine's on the same scenario.
+//! Every engine — single-threaded or shard-local — orders same-instant
+//! events by the canonical `(time, key, seq)` rule of
+//! [`crate::calq::CalendarQueue`], where the key encodes the event's
+//! *global* physical identity (wire direction, device id; see
+//! `Network::order_key`). The builder here stamps each shard-local
+//! network with the global link and node ids it was carved from, so a
+//! same-nanosecond coincidence — two copies of a flood arriving at one
+//! switch over parallel equal-delay paths, a timer firing against an
+//! arrival — resolves identically no matter which side of a shard
+//! boundary each event came from. Incoming cross-shard frames are
+//! additionally sorted by `(delivery time, global link id, direction,
+//! per-link sequence)` before injection, so the merged execution is a
+//! pure function of the scenario — thread scheduling never reorders
+//! anything. The observable contract, which
+//! `tests/sharded_equivalence.rs` pins and `difftest` fuzzes, is
+//! **trace identity**: the merged, timestamp-sorted delivery trace
+//! ([`DeliveryTracer`]) of a sharded run is byte-for-byte identical to
+//! the single-threaded engine's on the same scenario.
 //!
-//! Two caveats bound the contract. Cross-shard link-admin events
+//! One caveat bounds the contract: cross-shard link-admin events
 //! (cable cuts) are rejected — frames already handed to the channel
-//! cannot be recalled, so cut links must stay within one shard. And a
-//! cross-shard arrival that lands on a device at the *same nanosecond*
-//! as any other event there (a second arrival from another shard, a
-//! local delivery, a timer) is ordered by the canonical key above
-//! rather than by the sequential engine's insertion order, so such a
-//! coincidence can process in a different relative order. This only
-//! matters when the device's handler is order-sensitive at that exact
-//! instant; the scenarios the equivalence suite pins (the figure
-//! topologies and seeded jittered fabrics under ARP/UDP workloads)
-//! produce byte-identical traces — new workloads should be added to
-//! `tests/sharded_equivalence.rs` to prove they do too.
+//! cannot be recalled, so cut links must stay within one shard.
 //!
 //! # Example
 //!
@@ -115,7 +114,23 @@ use bytes::Bytes;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Fault-injection knob for `difftest --self-check`: extra nanoseconds
+/// every worker adds to its CMB horizon, deliberately breaking the
+/// conservative-lookahead guarantee so the differential harness can
+/// prove it detects unsound synchronization. Zero in production.
+static UNSOUND_HORIZON_WIDEN_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Widen every shard's execution horizon by `ns` nanoseconds beyond the
+/// sound CMB bound. **Test-only fault injection** — any nonzero value
+/// makes sharded runs unsound (late cross-shard arrivals may be
+/// reordered or rejected). Used by `difftest`'s self-check to verify
+/// the harness catches exactly this class of bug.
+#[doc(hidden)]
+pub fn set_unsound_horizon_widen(ns: u64) {
+    UNSOUND_HORIZON_WIDEN_NS.store(ns, Ordering::Relaxed);
+}
 
 /// One window's worth of cross-shard frames for one destination.
 type BatchSender = SyncSender<Vec<RemoteMsg>>;
@@ -375,6 +390,9 @@ impl ShardedBuilder {
             let s = assignment[g];
             let lid = builders[s].add(dev);
             debug_assert_eq!(lid, local_id[g]);
+            // Same-instant events at this device must sort by its
+            // *global* identity, as the single-threaded engine would.
+            builders[s].set_node_order_key(lid, g as u64);
             local2global[s].push(Some(NodeId(g)));
         }
         let device_counts = counts;
@@ -383,8 +401,13 @@ impl ShardedBuilder {
             (0..shards).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
         let mut stubs: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
         let mut links = Vec::with_capacity(self.links.len());
+        let mut stub_count = 0usize;
         for (gid, &(ea, eb, params)) in self.links.iter().enumerate() {
             let (sa, sb) = (assignment[ea.node.0], assignment[eb.node.0]);
+            // The canonical wire ids of this link's two directions,
+            // exactly as the single-threaded engine derives them from
+            // the global link id: same-instant arrivals sort on these.
+            let wire = [2 * gid as u64, 2 * gid as u64 + 1];
             let home = if sa == sb {
                 let local = builders[sa].link(
                     local_id[ea.node.0],
@@ -393,6 +416,7 @@ impl ShardedBuilder {
                     eb.port.0,
                     params,
                 );
+                builders[sa].set_link_order_keys(local, wire);
                 LinkHome::Intra { shard: sa, local }
             } else {
                 let mut half = |src: Endpoint, dst: Endpoint, dir: Dir| {
@@ -412,6 +436,10 @@ impl ShardedBuilder {
                         forwarded: 0,
                         outbox: Arc::clone(&outboxes[ss]),
                     }));
+                    // Stubs never own timers; any collision-free key
+                    // beyond the real id space keeps them canonical.
+                    builders[ss].set_node_order_key(stub, (n + stub_count) as u64);
+                    stub_count += 1;
                     local2global[ss].push(None);
                     stubs[ss].push(stub);
                     let local = builders[ss].link(
@@ -421,6 +449,18 @@ impl ShardedBuilder {
                         0,
                         params.without_propagation(),
                     );
+                    // The half-link's local A→B is the real endpoint
+                    // sending in global direction `dir`; its local
+                    // B→A (unused: stubs never transmit) is the other
+                    // global direction. Mapping both keeps
+                    // `inject_at`'s arrival-key lookup — which reads
+                    // the *opposite* of the port's send direction —
+                    // identical to the single-threaded Deliver key.
+                    let keys = match dir {
+                        Dir::AtoB => wire,
+                        Dir::BtoA => [wire[1], wire[0]],
+                    };
+                    builders[ss].set_link_order_keys(local, keys);
                     (ss, local)
                 };
                 let a_half = half(ea, eb, Dir::AtoB);
@@ -469,16 +509,76 @@ impl ShardedBuilder {
     }
 }
 
+/// A cyclic barrier whose [`abort`](AbortableBarrier::abort) releases
+/// every current *and future* waiter immediately.
+///
+/// `std::sync::Barrier` has no escape hatch, and the panic path needs
+/// one: a panicking worker cannot know which generation its healthy
+/// siblings will reach next. If it joins "one more" generation while a
+/// sibling observes the poison flag right after its own release and
+/// exits without waiting again, the panicking worker is stranded at a
+/// barrier that never fills (the difftest fault-injection self-check
+/// deadlocked on exactly that race).
+struct AbortableBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    n: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    aborted: bool,
+}
+
+impl AbortableBarrier {
+    fn new(n: usize) -> Self {
+        AbortableBarrier {
+            state: Mutex::new(BarrierState { arrived: 0, generation: 0, aborted: false }),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    /// Block until all `n` participants arrive or the barrier is
+    /// aborted, whichever comes first.
+    fn wait(&self) {
+        let mut s = self.state.lock().expect("barrier state poisoned");
+        if s.aborted {
+            return;
+        }
+        s.arrived += 1;
+        if s.arrived == self.n {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let generation = s.generation;
+        while s.generation == generation && !s.aborted {
+            s = self.cv.wait(s).expect("barrier state poisoned");
+        }
+    }
+
+    /// Permanently release everyone: current waiters wake now, future
+    /// [`wait`](AbortableBarrier::wait) calls return immediately.
+    fn abort(&self) {
+        let mut s = self.state.lock().expect("barrier state poisoned");
+        s.aborted = true;
+        self.cv.notify_all();
+    }
+}
+
 /// Shared per-run synchronization state for the worker threads.
 struct WindowSync {
     /// Two waits per round: after publishing next-event times, and
     /// after exchanging boundary frames.
-    barrier: Barrier,
+    barrier: AbortableBarrier,
     /// Per-shard next pending event time (`u64::MAX` = idle), valid
     /// between the two barrier waits of a round.
     slots: Vec<AtomicU64>,
-    /// Set when a worker panicked; everyone else unwinds at the next
-    /// barrier instead of deadlocking on the missing participant.
+    /// Set (before the barrier is aborted) when a worker panicked;
+    /// everyone else returns at their next post-wait check.
     poisoned: AtomicBool,
     /// Window length in nanoseconds (`u64::MAX` when no link is cut).
     lookahead: u64,
@@ -751,7 +851,7 @@ impl ShardedNetwork {
         }
         let nshards = self.shards.len();
         let sync = WindowSync {
-            barrier: Barrier::new(nshards),
+            barrier: AbortableBarrier::new(nshards),
             slots: (0..nshards).map(|_| AtomicU64::new(u64::MAX)).collect(),
             poisoned: AtomicBool::new(false),
             lookahead: self.lookahead.map_or(u64::MAX, |l| l.as_nanos()),
@@ -776,8 +876,8 @@ impl ShardedNetwork {
 /// One worker thread's life: rounds of (drain inbox → agree on a
 /// window → execute it → exchange boundary frames) until the global
 /// next event passes the bound. Panics from device code poison the
-/// sync state so sibling workers exit instead of deadlocking, then
-/// propagate.
+/// sync state and abort the barrier so sibling workers exit instead
+/// of deadlocking, then propagate.
 fn shard_worker(
     i: usize,
     shard: &mut Shard,
@@ -787,8 +887,10 @@ fn shard_worker(
 ) {
     let result = catch_unwind(AssertUnwindSafe(|| worker_rounds(i, shard, &rx, &txs, sync)));
     if let Err(panic) = result {
+        // Order matters: siblings released by the abort must observe
+        // the flag at their post-wait check.
         sync.poisoned.store(true, Ordering::SeqCst);
-        sync.barrier.wait();
+        sync.barrier.abort();
         resume_unwind(panic);
     }
 }
@@ -851,6 +953,11 @@ fn worker_rounds(
             .expect("at least two shards in the window protocol");
         let horizon =
             min_other.min(w_start.saturating_add(sync.lookahead)).saturating_add(sync.lookahead);
+        // Test-only fault injection: difftest's self-check widens the
+        // horizon past what CMB permits to prove the harness catches
+        // unsound lookahead. Always zero in production.
+        let widen = UNSOUND_HORIZON_WIDEN_NS.load(Ordering::Relaxed);
+        let horizon = horizon.saturating_add(widen);
         let run_bound = SimTime((horizon - 1).min(sync.bound.0));
         while shard.net.step_batch(run_bound) {}
 
@@ -888,6 +995,94 @@ mod tests {
     use crate::engine::NetworkBuilder;
     use arppath_wire::{ArpPacket, MacAddr};
     use std::net::Ipv4Addr;
+
+    #[test]
+    fn abortable_barrier_cycles_generations() {
+        let barrier = Arc::new(AbortableBarrier::new(3));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let barrier = Arc::clone(&barrier);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..10 {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    // Everyone passed this round's barrier, so every
+                    // pre-barrier increment must be visible.
+                    assert!(counter.load(Ordering::SeqCst) >= 3 * (round + 1));
+                    barrier.wait();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("barrier worker panicked");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 30);
+    }
+
+    #[test]
+    fn abortable_barrier_abort_releases_current_and_future_waiters() {
+        // One waiter blocks (the barrier wants 2 arrivals); abort from
+        // the main thread must release it, and a later wait must
+        // return immediately. A deadlock here fails via test timeout.
+        let barrier = Arc::new(AbortableBarrier::new(2));
+        let stuck = {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || barrier.wait())
+        };
+        // Give the waiter a moment to actually block before aborting.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        barrier.abort();
+        stuck.join().expect("aborted waiter panicked");
+        barrier.wait(); // future waits return immediately once aborted
+    }
+
+    #[test]
+    fn worker_panic_aborts_run_instead_of_deadlocking() {
+        // A device that panics mid-run on one shard while the other
+        // shard may be anywhere in its round: the poison + abort
+        // protocol must propagate the panic, never hang. This is the
+        // race the difftest self-check exposed (panicking worker
+        // stranded at a barrier its exiting sibling never rejoins).
+        struct Bomb {
+            armed: bool,
+        }
+        impl Device for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                if self.armed {
+                    ctx.schedule(SimDuration::micros(5), TimerToken(1));
+                }
+            }
+            fn on_frame(&mut self, _port: PortNo, _frame: EthernetFrame, _ctx: &mut Ctx) {}
+            fn on_timer(&mut self, _token: TimerToken, _ctx: &mut Ctx) {
+                panic!("bomb device detonated");
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        // Only one shard's device panics; the other shard goes idle
+        // and takes the normal-exit path — the asymmetric case that
+        // used to strand the panicking worker at the poison barrier.
+        let mut b = ShardedBuilder::new(2);
+        let x = b.add(Box::new(Bomb { armed: true }));
+        let y = b.add(Box::new(Bomb { armed: false }));
+        b.link(x, 0, y, 0, LinkParams::gigabit(SimDuration::micros(1)));
+        let mut net = b.build(&[0, 1]);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            net.run_until(SimTime(1_000_000));
+        }));
+        // scope::join re-panics with its own payload; what matters is
+        // that the call RETURNS (no deadlock) and returns Err.
+        result.expect_err("device panic must propagate, not be swallowed");
+    }
 
     fn test_frame() -> EthernetFrame {
         EthernetFrame::arp_request(

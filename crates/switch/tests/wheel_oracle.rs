@@ -1,0 +1,105 @@
+//! The hierarchical timer wheel against a sorted-heap oracle.
+//!
+//! `dleft_oracle.rs` exercises the wheel indirectly through
+//! [`DLeftTable`]'s aging; this suite pins the wheel's own delivery
+//! contract directly, under randomized mass-expiry schedules:
+//!
+//! * every filed entry is delivered **exactly once** — on the first
+//!   [`TimerWheel::advance`] whose target covers the entry's tick,
+//! * never before its tick (sub-tick earliness is allowed by the
+//!   contract: a tick is the wheel's resolution, and the owning
+//!   table's revalidation absorbs it),
+//! * regardless of how the advance instants chop the timeline — one
+//!   giant jump, thousands of tiny steps, or anything between (the
+//!   cascade path differs wildly between those; the observable
+//!   behaviour must not).
+//!
+//! The oracle is a `BinaryHeap` of (tick, id): `advance(now)` must
+//! return exactly the heap prefix with `tick <= now >> shift`.
+
+use arppath_netsim::SimTime;
+use arppath_switch::wheel::{TimerWheel, DEFAULT_TICK_SHIFT};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Mass expiry: hundreds of deadlines spread over ~70 ms (crossing
+    /// several wheel levels at the default 1.024 µs tick), drained
+    /// through a random advance schedule. Multiset-exact agreement
+    /// with the heap oracle at every step.
+    #[test]
+    fn mass_expiry_sweep_matches_heap_oracle(
+        deadlines in proptest::collection::vec(0u64..70_000_000, 1..300),
+        hops in proptest::collection::vec(1u64..10_000_000, 1..40),
+    ) {
+        let shift = DEFAULT_TICK_SHIFT;
+        let mut wheel = TimerWheel::new(shift);
+        let mut oracle: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        for (id, &fires) in deadlines.iter().enumerate() {
+            wheel.insert(SimTime(fires), id as u32, 0);
+            oracle.push(Reverse((fires >> shift, id as u32)));
+        }
+        prop_assert_eq!(wheel.len(), deadlines.len());
+
+        let mut now = 0u64;
+        let mut due = Vec::new();
+        for hop in hops {
+            now += hop;
+            due.clear();
+            wheel.advance(SimTime(now), &mut due);
+            // Nothing delivered after its deadline's tick has passed
+            // unobserved, nothing before its tick is reached.
+            let mut got: Vec<(u64, u32)> =
+                due.iter().map(|e| (e.fires.as_nanos() >> shift, e.slot)).collect();
+            got.sort_unstable();
+            let mut expect = Vec::new();
+            while oracle.peek().is_some_and(|Reverse((tick, _))| *tick <= now >> shift) {
+                let Reverse(pair) = oracle.pop().unwrap();
+                expect.push(pair);
+            }
+            expect.sort_unstable();
+            prop_assert_eq!(&got, &expect, "advance to {} delivered the wrong set", now);
+        }
+        // Drain the stragglers: one final jump past everything.
+        now += 80_000_000;
+        due.clear();
+        wheel.advance(SimTime(now), &mut due);
+        prop_assert_eq!(due.len(), oracle.len(), "final drain left entries stranded");
+        prop_assert!(wheel.is_empty(), "wheel must be empty after full drain");
+    }
+
+    /// Chop-invariance: the same deadline set drained by two different
+    /// advance schedules (one jump vs many steps) delivers the same
+    /// multiset of entries.
+    #[test]
+    fn delivery_is_invariant_to_the_advance_schedule(
+        deadlines in proptest::collection::vec(0u64..20_000_000, 1..150),
+        step in 1_024u64..2_000_000,
+    ) {
+        let horizon = 21_000_000u64;
+        let mut big = TimerWheel::default();
+        let mut small = TimerWheel::default();
+        for (id, &fires) in deadlines.iter().enumerate() {
+            big.insert(SimTime(fires), id as u32, 1);
+            small.insert(SimTime(fires), id as u32, 1);
+        }
+        let mut one_jump = Vec::new();
+        big.advance(SimTime(horizon), &mut one_jump);
+
+        let mut stepped = Vec::new();
+        let mut now = 0;
+        while now < horizon {
+            now = (now + step).min(horizon);
+            small.advance(SimTime(now), &mut stepped);
+        }
+        let key = |e: &arppath_switch::wheel::TimerEntry| (e.fires.as_nanos(), e.slot, e.gen);
+        one_jump.sort_unstable_by_key(key);
+        stepped.sort_unstable_by_key(key);
+        prop_assert_eq!(one_jump, stepped);
+        prop_assert!(big.is_empty());
+        prop_assert!(small.is_empty());
+    }
+}

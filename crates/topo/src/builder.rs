@@ -161,6 +161,19 @@ impl TopoBuilder {
     /// what makes their traces directly comparable.
     fn plan(self) -> TopoPlan {
         let n = self.bridge_names.len();
+        // ARP-Path kinds with no explicit table geometry get one derived
+        // from the declared host count — the builder knows exactly how
+        // many stations the fabric will learn, so nobody has to
+        // remember `with_expected_stations` when scaling a topology up.
+        let kind = match self.kind {
+            BridgeKind::ArpPath(cfg) => {
+                BridgeKind::ArpPath(cfg.autosize_for_stations(self.hosts.len()))
+            }
+            BridgeKind::ArpPathNetFpga(cfg, nf) => {
+                BridgeKind::ArpPathNetFpga(cfg.autosize_for_stations(self.hosts.len()), nf)
+            }
+            other => other,
+        };
         // Port allocation: bridge links first (declaration order), then
         // host links (attachment order).
         let mut next_port = vec![0usize; n];
@@ -185,7 +198,7 @@ impl TopoBuilder {
             let mac = MacAddr::from_index(2, (i + 1) as u32);
             let ports = next_port[i].max(1);
             devices.push(make_bridge(
-                self.kind,
+                kind,
                 name.clone(),
                 mac,
                 ports,
@@ -212,7 +225,7 @@ impl TopoBuilder {
         }
 
         TopoPlan {
-            kind: self.kind,
+            kind,
             devices,
             links,
             n_bridges: n,

@@ -194,6 +194,87 @@ mod tests {
         }
     }
 
+    /// The full grid the differential fuzzer draws from — k ∈ {4, 6, 8}
+    /// × shards ∈ {2, 3, 4} × full and partial racks — holding the two
+    /// invariants the sharded engine's lookahead depends on:
+    ///
+    /// 1. **Host↔edge links are never cut** (they carry the smallest
+    ///    propagation delays in the fabric; cutting one would collapse
+    ///    the lookahead to the host-link delay).
+    /// 2. **Pods are atomic**: all edge and aggregation switches of a
+    ///    pod, and every host racked under them, share one shard — so
+    ///    the only cut links are aggregation↔core.
+    #[test]
+    fn rack_major_grid_never_cuts_racks_and_keeps_pods_atomic() {
+        for k in [4usize, 6, 8] {
+            for shards in [2usize, 3, 4] {
+                for hosts_per_edge in [1usize, 2] {
+                    let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
+                    let ft = generic::fat_tree(&mut t, k);
+                    let capacity = ft.host_capacity(hosts_per_edge);
+                    // Full racks, and a partial attachment one rack shy.
+                    for hosts in [capacity, capacity - hosts_per_edge] {
+                        let p = Partition::rack_major(&ft, hosts_per_edge, hosts, shards);
+                        let ctx =
+                            format!("k={k} shards={shards} hpe={hosts_per_edge} hosts={hosts}");
+
+                        // (1) Host↔edge links intra-shard, every host.
+                        for h in 0..hosts {
+                            let edge = ft.edge_of_host(h, hosts_per_edge);
+                            assert_eq!(
+                                p.host_shard(h),
+                                p.bridge_shard(edge),
+                                "{ctx}: host {h}↔edge link cut"
+                            );
+                        }
+
+                        // (2) Pod atomicity, switches and hosts alike.
+                        let half = k / 2;
+                        for pod in 0..k {
+                            let shard = p.bridge_shard(ft.edge[pod * half]);
+                            for j in 0..half {
+                                assert_eq!(
+                                    p.bridge_shard(ft.edge[pod * half + j]),
+                                    shard,
+                                    "{ctx}: pod {pod} edge {j} strayed"
+                                );
+                                assert_eq!(
+                                    p.bridge_shard(ft.aggregation[pod * half + j]),
+                                    shard,
+                                    "{ctx}: pod {pod} aggregation {j} strayed"
+                                );
+                            }
+                        }
+                        for h in 0..hosts {
+                            let pod = ft.pod_of_host(h, hosts_per_edge);
+                            assert_eq!(
+                                p.host_shard(h),
+                                p.bridge_shard(ft.edge[pod * half]),
+                                "{ctx}: host {h} split from pod {pod}"
+                            );
+                        }
+
+                        // Structural sanity: total coverage, no empty
+                        // shard, and contiguous-block balance (shard
+                        // populations within one pod + its racks).
+                        let flat = p.assignment();
+                        assert_eq!(flat.len(), t.bridge_count() + hosts, "{ctx}");
+                        assert!(flat.iter().all(|&s| s < shards), "{ctx}: shard out of range");
+                        let sizes = p.shard_sizes();
+                        assert!(sizes.iter().all(|&n| n > 0), "{ctx}: an empty shard");
+                        let pod_weight = 2 * half + half * hosts_per_edge;
+                        let (max, min) =
+                            (*sizes.iter().max().unwrap(), *sizes.iter().min().unwrap());
+                        assert!(
+                            max - min <= 2 * pod_weight,
+                            "{ctx}: shard sizes {sizes:?} drift beyond a pod's weight"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn round_robin_spreads_and_covers() {
         let p = Partition::round_robin(7, 5, 3);

@@ -1,0 +1,24 @@
+//! The differential fuzzer's own regression test: prove the harness
+//! would catch a sharded-engine soundness bug if one were introduced.
+//!
+//! `set_unsound_horizon_widen` makes every worker run past its
+//! conservative (CMB) lookahead bound — the exact class of bug the
+//! fuzzer exists to catch (a late cross-shard frame lands in a
+//! neighbour's already-executed past). The self-check injects it,
+//! requires the fuzzer to detect and minimize a failure, restores
+//! soundness, and requires the minimized spec to pass again.
+//!
+//! This lives in its own integration-test binary on purpose: the widen
+//! knob is process-global, so it must never race other sharded tests
+//! sharing a test process.
+
+#[test]
+fn injected_unsound_horizon_is_detected_and_minimized() {
+    let mut lines = Vec::new();
+    arppath_bench::difftest::self_check(16, &mut |l| lines.push(l.to_string()))
+        .unwrap_or_else(|e| panic!("difftest self-check failed: {e}"));
+    assert!(
+        lines.iter().any(|l| l.contains("detected and minimized")),
+        "self-check must report the minimized reproducer; got: {lines:?}"
+    );
+}

@@ -168,6 +168,36 @@ fn default_seed_paths_are_canonical() {
     }
 }
 
+/// The builder-derived d-left geometry (TopoBuilder autosizes ARP-Path
+/// tables from the declared host count — no manual
+/// `with_expected_stations` anywhere in the E8/E9 scenarios anymore)
+/// must absorb the full station load of the default fabric with zero
+/// bucket-overflow evictions and keep the 4× slot headroom contract.
+#[test]
+fn autosized_tables_fit_the_fabric_with_zero_evictions() {
+    let w = run_workload(E8Params::default().seed);
+    let stations = w.pairs.len();
+    for b in 0..w.built.bridge_nodes.len() {
+        let bridge = w.built.arppath(BridgeIx(b));
+        assert_eq!(
+            bridge.table_evictions(),
+            0,
+            "bridge {b}: autosized geometry evicted a live path entry"
+        );
+        assert!(
+            bridge.table_slot_capacity() >= 4 * stations,
+            "bridge {b}: {} slots for {stations} stations breaks the 4× headroom rule",
+            bridge.table_slot_capacity()
+        );
+        // Core bridges learn every station; nobody learns more.
+        assert!(
+            bridge.table_len() <= stations,
+            "bridge {b}: table holds {} entries for {stations} stations",
+            bridge.table_len()
+        );
+    }
+}
+
 /// Same parameters ⇒ byte-identical tables, twice over: the topology
 /// jitter, the pairings, the simulation and the rendering are all pure
 /// functions of `E8Params`.

@@ -11,9 +11,11 @@
 //! repository is pinned to one observable behaviour.
 
 use arppath::ArpPathConfig;
+use arppath_bench::difftest::Spec;
 use arppath_bench::experiments::e8_fattree::{self, E8Params};
 use arppath_bench::experiments::e9_congestion::{self, CcMode, E9Params, QueueMode};
 use arppath_host::{PingConfig, PingHost, TrafficPattern};
+use arppath_netsim::difftest::{check, Outcome};
 use arppath_netsim::{DeliveryTracer, NetworkStats, SimDuration, SimTime};
 use arppath_topo::{BridgeKind, Fig1, Fig2, Partition, TopoBuilder};
 use arppath_wire::MacAddr;
@@ -225,6 +227,64 @@ fn watchdog_fires_are_shard_invariant() {
         );
         assert_eq!(sharded.fct.incomplete(), 0);
     }
+}
+
+#[test]
+fn k6_and_k8_fabrics_are_trace_identical() {
+    // Larger arities than the k=4 suites above. k=6 is the fabric that
+    // historically diverged: the jittered builder draws whole-µs
+    // delays from ten values, so parallel equal-delay two-link paths
+    // are common, and the same ARP flood then reaches one switch on
+    // two ports in the same nanosecond. Until the canonical
+    // (time, key, seq) event order landed, the single-threaded engine
+    // broke that tie by global insertion order while the sharded
+    // engine broke it by cross-shard merge key — divergent traces.
+    // Byte-identity here pins the fix at every arity × shard count.
+    for k in [4usize, 6, 8] {
+        for shards in [2usize, 3] {
+            let spec = Spec::parse(&format!(
+                "k={k} hosts_per_edge=2 segments=4 seed=233 pattern=permutation \
+                 mode=infinite watchdog=off shards={shards} partition=rack"
+            ));
+            assert_eq!(
+                check(&spec),
+                Outcome::Identical,
+                "k={k} fabric diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn minimized_k6_reproducer_replays_clean() {
+    // The exact spec line `repro -- difftest` minimized the k=6
+    // divergence to (round-robin partition maximizes the cut, so every
+    // equal-delay flood race crosses a shard boundary). Replayed
+    // verbatim, the way any future fuzzer-found reproducer should be
+    // promoted into this suite.
+    let spec = Spec::parse(
+        "k=6 hosts_per_edge=2 segments=4 seed=233 pattern=permutation mode=infinite \
+         watchdog=off shards=2 partition=round-robin",
+    );
+    assert_eq!(check(&spec), Outcome::Identical, "the k=6 reproducer regressed");
+}
+
+#[test]
+fn difftest_fuzz_smoke_finds_no_divergence() {
+    // A handful of generated scenarios straight through the fuzzer
+    // API — the same path `repro -- difftest --seeds N` and the CI
+    // smoke job take. Any divergence fails with a minimized,
+    // replayable spec line in the panic message.
+    let mut lines = Vec::new();
+    let found = arppath_bench::difftest::fuzz(0, 6, 400, &mut |l| lines.push(l.to_string()));
+    if let Some(report) = found {
+        panic!(
+            "fuzzer found a divergence ({:?}); minimized reproducer: {}",
+            report.outcome,
+            report.scenario.render()
+        );
+    }
+    assert_eq!(lines.len(), 6, "one progress line per seed");
 }
 
 #[test]
