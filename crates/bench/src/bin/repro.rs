@@ -27,9 +27,11 @@
 //! `--bench-json FILE` additionally writes the machine-readable bench
 //! trajectory (schema documented in `BASELINES.md`): per-experiment
 //! wall clocks, the quick E9 incast guard (with its per-controller
-//! FCT p99s), plus the fast-table micro medians. The committed
-//! `BENCH_PR5.json`/`BENCH_PR7.json` are such files; CI re-captures a
-//! quick one and gates it with the `bench-guard` subcommand:
+//! FCT p99s), the quick E11 churn guard (with its undersized eviction
+//! count and correction p99), plus the fast-table micro medians. The
+//! committed `BENCH_PR5.json`/`BENCH_PR7.json`/`BENCH_PR9.json` are
+//! such files; CI re-captures a quick one and gates it with the
+//! `bench-guard` subcommand:
 //!
 //! ```text
 //! repro -- bench-guard --baseline BENCH_PR7.json --current ci.json \
@@ -37,7 +39,8 @@
 //! ```
 
 use arppath_bench::experiments::{
-    e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation, e8_fattree, e9_congestion,
+    e11_churn, e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation, e8_fattree,
+    e9_congestion,
 };
 use arppath_bench::{difftest, micro};
 use arppath_host::TrafficPattern;
@@ -241,15 +244,17 @@ fn main() {
         );
         std::process::exit(if ok { 0 } else { 1 });
     }
-    // Both flags only act on E8/E9; warn instead of silently ignoring
-    // them when the selection excludes both.
-    if !want("e8") && !want("e9") {
+    // Both flags only act on E8/E9/E11; warn instead of silently
+    // ignoring them when the selection excludes all three.
+    if !want("e8") && !want("e9") && !want("e11") {
         if shards > 1 {
-            eprintln!("[repro] warning: --shards only affects e8/e9, neither of which is selected");
+            eprintln!(
+                "[repro] warning: --shards only affects e8/e9/e11, none of which is selected"
+            );
         }
         if trace_out.is_some() {
             eprintln!(
-                "[repro] warning: --trace-out only applies to e8/e9, neither of which is selected"
+                "[repro] warning: --trace-out only applies to e8/e9/e11, none of which is selected"
             );
         }
     }
@@ -488,6 +493,68 @@ fn main() {
         }
     }
 
+    if want("e11") {
+        // Churn sweep: one run per fabric size covers all three table
+        // regimes (undersized / headroom / oversized) under one seeded
+        // churn script.
+        let ks: &[usize] = if quick { &[4] } else { &[4, 6, 8] };
+        let e11_params = |&k: &usize| {
+            let mut params = e11_churn::E11Params::for_k(k);
+            if quick {
+                params.horizon = SimDuration::millis(100);
+            }
+            params.shards = shards;
+            params
+        };
+        let mut results = Vec::new();
+        let sweep_started = Instant::now();
+        for k in ks {
+            let params = e11_params(k);
+            eprintln!(
+                "[repro] running E11 (station churn), k={}, {} stations, {shards} shard(s)...",
+                params.k, params.stations
+            );
+            let started = std::time::Instant::now();
+            results.push(e11_churn::run(&params));
+            eprintln!(
+                "[repro] e11 k={} took {} ms (3 regimes, {shards} shard(s))",
+                params.k,
+                started.elapsed().as_millis()
+            );
+            wall_ms.push((format!("e11_k{}_ms", params.k), started.elapsed().as_secs_f64() * 1e3));
+        }
+        wall_ms.push(("e11_total_ms".into(), sweep_started.elapsed().as_secs_f64() * 1e3));
+        println!("{}", e11_churn::table(&results).render_markdown());
+        // The dip-and-recovery detail for the stormiest cell: the first
+        // fabric's undersized regime.
+        if let Some(first) = results.first().and_then(|r| r.rows.first()) {
+            println!("{}", e11_churn::epoch_table(first).render_markdown());
+        }
+        println!(
+            "undersized tables evict, autosized headroom stays eviction-free under churn: {}",
+            if e11_churn::verify_pressure(&results) { "HOLDS" } else { "VIOLATED" }
+        );
+        println!(
+            "movers re-activate behind their new rack and the fabric corrects the stale path: {}\n",
+            if e11_churn::verify_correction(&results) { "HOLDS" } else { "VIOLATED" }
+        );
+        if let Some(path) = &trace_out {
+            // The canonical E11 artifact: the first fabric's undersized
+            // churn trace — carrier flaps, eviction churn, repair
+            // floods and all. Identical bytes regardless of --shards.
+            // When E8/E9 also ran (and own `path`), this goes to
+            // `path.e11`.
+            let e11_path =
+                if want("e8") || want("e9") { format!("{path}.e11") } else { path.clone() };
+            eprintln!("[repro] capturing E11 delivery trace ({shards} shard(s)) -> {e11_path}");
+            let trace =
+                e11_churn::delivery_trace(&e11_params(&ks[0]), e11_churn::TableRegime::Undersized);
+            let mut body = trace.join("\n");
+            body.push('\n');
+            std::fs::write(&e11_path, body).expect("write --trace-out file");
+        }
+    }
+
     if let Some(path) = &bench_json {
         // The guard key: a quick-geometry E8 run, measured in-process.
         // Under --quick the sweep above already ran it; re-run either
@@ -557,11 +624,48 @@ fn main() {
         }
         wall_ms.push(("e9_incast_quick_ms".into(), best_ms));
         wall_ms.extend(fct_p99);
+        // Third guard key since PR 9: a quick-geometry E11 churn run
+        // (k=4, halved churn window, all three table regimes) — the
+        // eviction/correction machinery this PR made observable. Its
+        // undersized eviction count and correction p99 are recorded
+        // alongside so the trajectory shows the pressure shape, not
+        // just wall clock.
+        eprintln!("[repro] bench-json: timing the quick E11 churn guard workload...");
+        let churn_params = e11_churn::E11Params {
+            horizon: SimDuration::millis(50),
+            ..e11_churn::E11Params::for_k(4)
+        };
+        let mut best_ms = f64::INFINITY;
+        let mut churn_keys = Vec::new();
+        for _ in 0..3 {
+            let started = Instant::now();
+            let result = e11_churn::run(&churn_params);
+            best_ms = best_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            let results = [result];
+            assert!(
+                e11_churn::verify_pressure(&results),
+                "quick E11 pressure gates must hold (undersized evicts, headroom does not)"
+            );
+            let under = &results[0].rows[0];
+            churn_keys = vec![
+                ("e11_churn_evictions".to_string(), under.table.evictions as f64),
+                (
+                    "e11_churn_corr_p99_ms".to_string(),
+                    if under.corrections.is_empty() {
+                        0.0
+                    } else {
+                        under.corrections.percentile(99.0) as f64 / 1e6
+                    },
+                ),
+            ];
+        }
+        wall_ms.push(("e11_churn_quick_ms".into(), best_ms));
+        wall_ms.extend(churn_keys);
         eprintln!("[repro] bench-json: running fast-table micro measurements...");
         let micro_ns: Vec<(String, f64)> =
             micro::measure_all().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         let json = format!(
-            "{{\n  \"schema\": \"arppath-bench-trajectory/v1\",\n  \"pr\": \"PR7\",\n  \
+            "{{\n  \"schema\": \"arppath-bench-trajectory/v1\",\n  \"pr\": \"PR9\",\n  \
              \"quick\": {},\n  \"wall_ms\": {{\n{}\n  }},\n  \"micro_ns\": {{\n{}\n  }}\n}}\n",
             quick,
             json_section(&wall_ms),

@@ -11,16 +11,20 @@
 //!   flood collisions land),
 //! * traffic pattern (permutation / hotspot incast),
 //! * queue policy (infinite / drop-tail / PFC) and the pause watchdog,
-//! * shard count and partition strategy (rack-major / round-robin).
+//! * shard count and partition strategy (rack-major / round-robin),
+//! * station churn (E11-style arrivals, departures and rack moves on
+//!   undersized tables — link-admin events, eviction storms and
+//!   mass-expiry sweeps all cross the engines' event order).
 //!
 //! A [`Spec`] serializes to one `key=value` line and parses back, so a
 //! divergence found by `repro -- difftest` lands in a bug report as a
 //! string that `tests/sharded_equivalence.rs` replays verbatim — that
 //! is exactly how the k=6 reproducer pinned there was produced.
 
+use crate::experiments::e11_churn::{self, E11Params, TableRegime};
 use crate::experiments::e9_congestion::{self, CcMode, E9Params, QueueMode};
 use arppath_host::TrafficPattern;
-use arppath_netsim::{difftest::DiffScenario, DeliveryTracer, PauseWatchdog};
+use arppath_netsim::{difftest::DiffScenario, DeliveryTracer, PauseWatchdog, SimDuration};
 use arppath_topo::Partition;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::{Arc, Mutex};
@@ -63,8 +67,17 @@ pub struct Spec {
     /// Worker shards for the candidate run (≥ 2; the reference is
     /// always the single-threaded engine).
     pub shards: usize,
-    /// Partition strategy for the candidate run.
+    /// Partition strategy for the candidate run. Ignored when
+    /// `churn > 0`: churn scenarios carry host link-admin events,
+    /// which are only legal intra-shard, so they always run
+    /// rack-major (the production partition).
     pub partition: PartitionKind,
+    /// Per-slot departure probability (‰) of an E11 churn scenario;
+    /// `0` selects the E9 congested-flow scenario family instead.
+    pub churn: u32,
+    /// Fraction of departures that are rack moves (‰); only
+    /// meaningful when `churn > 0`.
+    pub mobility: u32,
 }
 
 impl Spec {
@@ -76,7 +89,7 @@ impl Spec {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let k = [4, 6, 8][rng.gen_range(0..3usize)];
         let shards = rng.gen_range(2..=3usize);
-        Spec {
+        let mut spec = Spec {
             k,
             hosts_per_edge: rng.gen_range(1..=2usize),
             segments: [4, 8, 16][rng.gen_range(0..3usize)],
@@ -90,14 +103,25 @@ impl Spec {
             } else {
                 PartitionKind::RoundRobin
             },
+            churn: 0,
+            mobility: 0,
+        };
+        // One in four scenarios exercises the churn family instead:
+        // link flaps, evictions and timer-wheel sweeps replace queue
+        // pressure as the thing the engines must order identically.
+        if rng.gen_range(0..4u32) == 0 {
+            spec.churn = [10, 25, 50][rng.gen_range(0..3usize)];
+            spec.mobility = [0, 300, 500][rng.gen_range(0..3usize)];
+            spec.partition = PartitionKind::RackMajor;
         }
+        spec
     }
 
     /// Serialize to the one-line reproducer format of [`Spec::parse`].
     pub fn render(&self) -> String {
         format!(
             "k={} hosts_per_edge={} segments={} seed={} pattern={} mode={} \
-             watchdog={} shards={} partition={}",
+             watchdog={} shards={} partition={} churn={} mobility={}",
             self.k,
             self.hosts_per_edge,
             self.segments,
@@ -107,6 +131,8 @@ impl Spec {
             if self.watchdog { "on" } else { "off" },
             self.shards,
             self.partition.label(),
+            self.churn,
+            self.mobility,
         )
     }
 
@@ -126,6 +152,8 @@ impl Spec {
             watchdog: false,
             shards: 2,
             partition: PartitionKind::RackMajor,
+            churn: 0,
+            mobility: 0,
         };
         for field in line.split_whitespace() {
             let (key, value) =
@@ -151,6 +179,8 @@ impl Spec {
                         other => panic!("unknown partition {other:?}"),
                     }
                 }
+                "churn" => spec.churn = value.parse().expect("churn"),
+                "mobility" => spec.mobility = value.parse().expect("mobility"),
                 other => panic!("unknown field {other:?}"),
             }
         }
@@ -178,10 +208,33 @@ impl Spec {
         }
     }
 
+    /// The E11 parameter block this spec maps onto when `churn > 0`.
+    /// A short horizon keeps a fuzz sweep in CI time; the undersized
+    /// table regime is implied — it is the one where churn reaches the
+    /// eviction and sweep machinery, the event kinds this family
+    /// exists to cross-check.
+    fn e11(&self, shards: usize) -> E11Params {
+        E11Params {
+            k: self.k,
+            horizon: SimDuration::millis(60),
+            departure_per_mille: self.churn,
+            mobility_per_mille: self.mobility,
+            seed: self.seed,
+            shards,
+            ..E11Params::for_k(self.k)
+        }
+    }
+
     /// Run one engine and render its merged, timestamp-sorted delivery
     /// trace. `shards = 1` is the single-threaded reference; `≥ 2`
     /// builds the sharded engine under this spec's partition strategy.
     fn trace(&self, shards: usize) -> Vec<String> {
+        if self.churn > 0 {
+            // The churn family carries host link-admin events, legal
+            // only intra-shard: `delivery_trace` partitions rack-major
+            // internally, so `self.partition` does not apply here.
+            return e11_churn::delivery_trace(&self.e11(shards), TableRegime::Undersized);
+        }
         let params = self.e9(shards);
         let (t, ft, _pairs, deadline) =
             e9_congestion::scenario(&params, self.mode, CcMode::Fixed, self.pattern());
@@ -243,6 +296,14 @@ impl DiffScenario for Spec {
         }
         if self.mode != QueueMode::Infinite {
             out.push(Spec { mode: QueueMode::Infinite, ..*self });
+        }
+        if self.churn > 0 && self.mobility > 0 {
+            out.push(Spec { mobility: 0, ..*self });
+        }
+        if self.churn > 0 {
+            // Dropping churn entirely falls back to the quiet E9
+            // family: if the divergence survives, churn was incidental.
+            out.push(Spec { churn: 0, mobility: 0, ..*self });
         }
         if self.shards > 2 {
             out.push(Spec { shards: self.shards - 1, ..*self });
@@ -342,16 +403,21 @@ mod tests {
         assert!(a.iter().any(|s| s.partition == PartitionKind::RoundRobin));
         assert!(a.iter().any(|s| s.mode == QueueMode::Pfc));
         assert!(a.iter().any(|s| s.shards == 3));
+        assert!(a.iter().any(|s| s.churn > 0), "the churn family must be drawn");
+        assert!(
+            a.iter().filter(|s| s.churn > 0).all(|s| s.partition == PartitionKind::RackMajor),
+            "churn scenarios must stay rack-major (host link admin is intra-shard only)"
+        );
     }
 
     #[test]
     fn shrink_strictly_reduces_or_simplifies() {
         let spec = Spec::parse(
             "k=8 hosts_per_edge=2 segments=16 seed=7 pattern=hotspot mode=pfc \
-             watchdog=on shards=3 partition=round-robin",
+             watchdog=on shards=3 partition=round-robin churn=25 mobility=500",
         );
         let shrunk = spec.shrink();
-        assert_eq!(shrunk.len(), 8, "every axis has somewhere to go");
+        assert_eq!(shrunk.len(), 10, "every axis has somewhere to go");
         for s in &shrunk {
             assert_ne!(*s, spec);
         }

@@ -17,6 +17,7 @@
 //! it interactively). Every other number has both a module here and a
 //! `repro` subcommand.
 
+pub mod e11_churn;
 pub mod e1_latency;
 pub mod e2_repair;
 pub mod e3_linerate;

@@ -149,6 +149,13 @@ impl ArpPathBridge {
         self.table.capacity()
     }
 
+    /// Churn/aging instrumentation snapshot of the path table
+    /// (occupancy high-water, mass-expiry sweep shape, eviction-victim
+    /// age histogram) — the E11 observables.
+    pub fn table_stats(&self) -> arppath_switch::TableStats {
+        self.table.stats()
+    }
+
     /// Whether `port` currently classifies as core (bridge-facing).
     pub fn is_core_port(&self, port: PortNo, now: SimTime) -> bool {
         self.core_until.get(port.0).is_some_and(|&t| t > now)
@@ -1103,6 +1110,33 @@ mod tests {
         assert_eq!(br.entry_of(host(1), SimTime(101)), None, "flushed");
         assert!(br.entry_of(host(2), SimTime(101)).is_some(), "other port untouched");
         assert_eq!(br.ap_counters().link_down_flushes, 1);
+    }
+
+    #[test]
+    fn departed_station_relocks_on_new_port_after_link_down() {
+        // Churn-mobility regression (E11): when a station's access link
+        // drops, its table entry must be released *immediately* by the
+        // link-down flush — not left to age out — so a fast re-arrival
+        // of the same MAC behind a different port wins a fresh lock
+        // instead of being discarded as a rival copy of the stale path.
+        let mut br = mk(ArpPathConfig::default());
+        feed(&mut br, 1, arp_request_frame(1, 2), SimTime(0));
+        assert_eq!(br.entry_of(host(1), SimTime(1)).unwrap().port, PortNo(1));
+
+        let ports_up = [true, false, true, true];
+        let mut env = LogicEnv::new(SimTime(10), &ports_up, N);
+        br.on_link_status(PortNo(1), false, &mut env);
+        assert!(br.entry_of(host(1), SimTime(11)).is_none(), "slot released at once");
+        assert_eq!(br.ap_counters().link_down_flushes, 1);
+
+        // Re-arrival well inside the old lock window: must re-lock on
+        // the new ingress with zero race drops.
+        let out = feed(&mut br, 2, arp_request_frame(1, 2), SimTime(20));
+        assert_eq!(out, vec![0, 1, 3], "flooded from the new ingress, not dropped");
+        let e = br.entry_of(host(1), SimTime(21)).unwrap();
+        assert_eq!(e.port, PortNo(2), "fresh lock points at the new rack-side port");
+        assert_eq!(e.state, EntryState::Locked);
+        assert_eq!(br.ap_counters().race_drops, 0, "no stale-path race");
     }
 
     #[test]

@@ -14,17 +14,22 @@
 //!   UDP workload behind experiment E8's fat-tree load-balance study;
 //! * [`FlowHost`] — the closed-loop go-back-N flow sender/receiver with
 //!   flow-completion-time reporting behind experiment E9's congestion
-//!   study.
+//!   study;
+//! * [`ChurnHost`] + [`ChurnWorkload`] — the seeded station-churn
+//!   workload (Poisson arrivals/departures, MAC mobility between
+//!   racks) behind experiment E11's table-pressure study.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod flow;
 pub mod ping;
 pub mod stack;
 pub mod stream;
 pub mod workload;
 
+pub use churn::{ChurnConfig, ChurnHost, ChurnSpec, ChurnWorkload, StationPlan};
 pub use flow::{Aimd, CongestionControl, FixedWindow, FlowConfig, FlowHost, RetxTimer};
 pub use ping::{PingConfig, PingHost};
 pub use stack::{HostCounters, HostStack, Upcall};

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod diversity;
 pub mod drops;
 pub mod fairness;
@@ -42,6 +43,7 @@ pub mod series;
 pub mod table;
 pub mod utilization;
 
+pub use churn::{ChurnEpochs, EpochRow};
 pub use diversity::DiversityCounter;
 pub use drops::DropCounter;
 pub use fairness::jain_index;

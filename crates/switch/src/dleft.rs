@@ -129,11 +129,79 @@ impl<A: DLeftKey, B: DLeftKey> DLeftKey for (A, B) {
     }
 }
 
+/// Number of log2-microsecond buckets in the eviction-victim age
+/// histogram: bucket 0 counts victims younger than 1 µs, bucket `b ≥ 1`
+/// counts ages in `[2^(b-1), 2^b)` µs, and the last bucket absorbs
+/// everything older (2^30 µs ≈ 18 minutes — far past any in-repo
+/// learning timer).
+pub const VICTIM_AGE_BUCKETS: usize = 32;
+
+/// Churn/aging instrumentation snapshot of a [`DLeftTable`] — the
+/// observables experiment E11 drives past sizing headroom: overflow
+/// evictions (with a victim-age histogram: was the table throwing away
+/// fresh state or nearly-dead state?), the occupancy high-water mark
+/// against the physical slot capacity, and mass-expiry sweep shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    /// Bucket-overflow evictions since construction (same counter as
+    /// [`DLeftTable::evictions`]).
+    pub evictions: u64,
+    /// Highest occupied-slot count ever reached (live or
+    /// not-yet-scrubbed), against [`DLeftTable::capacity`].
+    pub occupancy_high_water: usize,
+    /// Scrubber runs (explicit [`sweep`](DLeftTable::sweep)s and the
+    /// background scrub every insert performs) that vacated at least
+    /// one expired entry.
+    pub expiry_sweeps: u64,
+    /// Total entries vacated by expiry across all scrubber runs.
+    pub swept_total: u64,
+    /// Largest single scrubber run — the mass-expiry spike a Poisson
+    /// departure burst produces.
+    pub swept_max: usize,
+    /// Eviction-victim ages (eviction instant minus the victim's last
+    /// insert), log2-microsecond buckets; see [`VICTIM_AGE_BUCKETS`].
+    pub victim_age_histogram: [u64; VICTIM_AGE_BUCKETS],
+}
+
+impl Default for TableStats {
+    fn default() -> Self {
+        TableStats {
+            evictions: 0,
+            occupancy_high_water: 0,
+            expiry_sweeps: 0,
+            swept_total: 0,
+            swept_max: 0,
+            victim_age_histogram: [0; VICTIM_AGE_BUCKETS],
+        }
+    }
+}
+
+impl TableStats {
+    /// The histogram bucket for a victim age in nanoseconds.
+    pub fn age_bucket(age_nanos: u64) -> usize {
+        let age_us = age_nanos / 1_000;
+        if age_us == 0 {
+            0
+        } else {
+            ((64 - age_us.leading_zeros()) as usize).min(VICTIM_AGE_BUCKETS - 1)
+        }
+    }
+
+    /// Victims counted across the whole age histogram.
+    pub fn victims_total(&self) -> u64 {
+        self.victim_age_histogram.iter().sum()
+    }
+}
+
 /// One occupied slot.
 #[derive(Debug, Clone, Copy)]
 struct Slot<K, V> {
     key: K,
     aged: Aged<V>,
+    /// Instant of the insert that created (or re-keyed) this slot's
+    /// current entry — the baseline for the eviction-victim age
+    /// histogram. Touches extend `aged.expires` but not `born`.
+    born: SimTime,
 }
 
 /// The fixed-geometry aging hash table. See the module docs for the
@@ -156,6 +224,9 @@ pub struct DLeftTable<K: DLeftKey, V> {
     observed_now: SimTime,
     /// Bucket-overflow evictions since construction.
     evictions: u64,
+    /// Churn instrumentation (high-water, sweep shape, victim ages);
+    /// `stats.evictions` mirrors the standalone counter.
+    stats: TableStats,
     /// Reused buffer for wheel deliveries.
     due: Vec<TimerEntry>,
 }
@@ -186,6 +257,7 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
             wheel: TimerWheel::default(),
             observed_now: SimTime::ZERO,
             evictions: 0,
+            stats: TableStats::default(),
             due: Vec::new(),
         }
     }
@@ -196,9 +268,17 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
     }
 
     /// Bucket-overflow evictions since construction (see the module
-    /// docs; zero in every in-repo workload).
+    /// docs; zero in every static in-repo workload — E11's undersized
+    /// churn regime is the deliberate exception).
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Snapshot of the churn/aging instrumentation ([`TableStats`]).
+    pub fn stats(&self) -> TableStats {
+        let mut s = self.stats;
+        s.evictions = self.evictions;
+        s
     }
 
     /// Entry count including not-yet-scrubbed expired entries (same
@@ -286,6 +366,11 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
             }
         }
         self.due = due;
+        if removed > 0 {
+            self.stats.expiry_sweeps += 1;
+            self.stats.swept_total += removed as u64;
+            self.stats.swept_max = self.stats.swept_max.max(removed);
+        }
         removed
     }
 
@@ -298,7 +383,7 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
         let watermark = self.observed_now;
         self.scrub(watermark);
         if let Some(idx) = self.find(&key) {
-            self.slots[idx] = Some(Slot { key, aged: Aged { value, expires } });
+            self.slots[idx] = Some(Slot { key, aged: Aged { value, expires }, born: watermark });
             self.wheel.insert(expires, idx as u32, self.gens[idx]);
             return None;
         }
@@ -346,14 +431,18 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
                 }
                 self.evictions += 1;
                 let old = self.slots[victim].take().expect("victim vanished");
+                let age = watermark.as_nanos().saturating_sub(old.born.as_nanos());
+                self.stats.victim_age_histogram[TableStats::age_bucket(age)] += 1;
                 self.gens[victim] = self.gens[victim].wrapping_add(1);
-                self.slots[victim] = Some(Slot { key, aged: Aged { value, expires } });
+                self.slots[victim] =
+                    Some(Slot { key, aged: Aged { value, expires }, born: watermark });
                 self.wheel.insert(expires, victim as u32, self.gens[victim]);
                 return Some((old.key, old.aged.value));
             }
         };
-        self.slots[idx] = Some(Slot { key, aged: Aged { value, expires } });
+        self.slots[idx] = Some(Slot { key, aged: Aged { value, expires }, born: watermark });
         self.wheel.insert(expires, idx as u32, self.gens[idx]);
+        self.stats.occupancy_high_water = self.stats.occupancy_high_water.max(self.len);
         None
     }
 
@@ -558,6 +647,45 @@ mod tests {
     }
 
     #[test]
+    fn stats_track_high_water_sweeps_and_victim_ages() {
+        let mut m: DLeftTable<u64, u64> = DLeftTable::with_bucket_bits(0);
+        for i in 0..8u64 {
+            m.insert(i, i, t(1_000_000 + i));
+        }
+        let s = m.stats();
+        assert_eq!(s.occupancy_high_water, 8);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.victims_total(), 0);
+        // Observe t=500µs so the eviction sees a 500µs-old victim
+        // (born at the t=0 watermark), then overflow the geometry.
+        assert_eq!(m.get(&99, t(500_000)), None);
+        assert_eq!(m.insert(99, 99, t(50_000_000)), Some((0, 0)));
+        let s = m.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.victims_total(), 1);
+        // 500 µs is in the [2^8, 2^9) µs bucket.
+        assert_eq!(s.victim_age_histogram[TableStats::age_bucket(500_000)], 1);
+        assert_eq!(TableStats::age_bucket(500_000), 9);
+        // Mass expiry: everything but key 99 dies at t=1ms+8ns.
+        let removed = m.sweep(t(1_000_100));
+        assert_eq!(removed, 7);
+        let s = m.stats();
+        assert_eq!(s.expiry_sweeps, 1);
+        assert_eq!(s.swept_total, 7);
+        assert_eq!(s.swept_max, 7);
+        assert_eq!(s.occupancy_high_water, 8, "high water survives the sweep");
+    }
+
+    #[test]
+    fn age_bucket_edges() {
+        assert_eq!(TableStats::age_bucket(0), 0);
+        assert_eq!(TableStats::age_bucket(999), 0, "sub-µs ages share bucket 0");
+        assert_eq!(TableStats::age_bucket(1_000), 1, "[1, 2) µs");
+        assert_eq!(TableStats::age_bucket(2_000), 2, "[2, 4) µs");
+        assert_eq!(TableStats::age_bucket(u64::MAX), VICTIM_AGE_BUCKETS - 1);
+    }
+
+    #[test]
     fn iter_live_is_key_ordered_and_filtered() {
         let mut m = DLeftTable::new();
         m.insert(3u32, "c", t(100));
@@ -583,6 +711,22 @@ mod tests {
         m.insert(1u32, "x", t(10));
         assert_eq!(m.remove(&1), Some("x"), "expired but unswept: remove still returns it");
         assert_eq!(m.remove(&1), None);
+    }
+
+    #[test]
+    fn removed_then_reinserted_key_survives_stale_wheel_deadline() {
+        // Churn shape (E11): a station departs — the link-down flush
+        // removes its entry, which must also strand the pending wheel
+        // deadline via the generation bump — and re-arrives with a
+        // later expiry. The stale deadline must not kill the new
+        // incarnation.
+        let mut m = DLeftTable::new();
+        m.insert(1u32, "departed", t(1_000));
+        assert_eq!(m.remove(&1), Some("departed"));
+        m.insert(1u32, "rearrived", t(5_000_000));
+        assert_eq!(m.sweep(t(2_000)), 0, "old deadline fails generation revalidation");
+        assert_eq!(m.peek(&1, t(2_000)), Some(&"rearrived"));
+        assert_eq!(m.sweep(t(6_000_000)), 1, "new deadline is the one that fires");
     }
 
     #[test]

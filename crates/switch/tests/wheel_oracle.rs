@@ -71,6 +71,90 @@ proptest! {
         prop_assert!(wheel.is_empty(), "wheel must be empty after full drain");
     }
 
+    /// Churn-shaped schedules (E11): interleaved bursts of same-tick
+    /// deadlines (a Poisson departure burst files many expiries into
+    /// one tick), cancellations (the d-left consumer strands entries
+    /// by generation bump — the wheel still delivers them, exactly
+    /// once), below-watermark inserts (a deadline already in the past
+    /// must clamp to the current tick and come out on the next
+    /// advance, not strand in a passed bucket), and mass-expiry
+    /// drains. The heap oracle mirrors the clamp; delivered id sets
+    /// must match it at every advance, and consumer-side gen filtering
+    /// must agree on the surviving (live) subset.
+    #[test]
+    fn churn_schedule_matches_heap_oracle(
+        raw_ops in proptest::collection::vec((0u8..8, 0u64..u64::MAX, 0u64..u64::MAX), 1..200),
+    ) {
+        let shift = DEFAULT_TICK_SHIFT;
+        let mut wheel = TimerWheel::new(shift);
+        let mut oracle: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut cancelled: Vec<bool> = Vec::new();
+        let mut now = 0u64;
+        let mut due = Vec::new();
+        for (sel, a, b) in raw_ops {
+            match sel {
+                // Burst insert: 1–8 entries sharing one deadline,
+                // sometimes below the watermark.
+                0..=3 => {
+                    let count = 1 + (a % 8) as usize;
+                    let fires = if sel == 0 {
+                        now.saturating_sub(b % 2_000_000) // below watermark
+                    } else {
+                        now + b % 20_000_000
+                    };
+                    let base = cancelled.len() as u32;
+                    cancelled.resize(cancelled.len() + count, false);
+                    for id in base..base + count as u32 {
+                        wheel.insert(SimTime(fires), id, id);
+                        oracle.push(Reverse(((fires >> shift).max(now >> shift), id)));
+                    }
+                }
+                // Cancel: strand a previously filed entry (consumer
+                // gen bump); the wheel is not told.
+                4 | 5 => {
+                    if !cancelled.is_empty() {
+                        let pick = (a % cancelled.len() as u64) as usize;
+                        cancelled[pick] = true;
+                    }
+                }
+                // Advance: drain and compare.
+                _ => {
+                    now += 1 + b % 5_000_000;
+                    due.clear();
+                    wheel.advance(SimTime(now), &mut due);
+                    let mut got: Vec<u32> = due.iter().map(|e| e.slot).collect();
+                    got.sort_unstable();
+                    let mut expect = Vec::new();
+                    while oracle.peek().is_some_and(|Reverse((t, _))| *t <= now >> shift) {
+                        let Reverse((_, id)) = oracle.pop().unwrap();
+                        expect.push(id);
+                    }
+                    expect.sort_unstable();
+                    prop_assert_eq!(&got, &expect, "advance to {} diverged", now);
+                    // Every entry carries gen == id here, so the
+                    // consumer-side filter the d-left table applies is
+                    // exactly the cancelled mask.
+                    let mut live: Vec<u32> = due
+                        .iter()
+                        .filter(|e| !cancelled[e.slot as usize] && e.gen == e.slot)
+                        .map(|e| e.slot)
+                        .collect();
+                    live.sort_unstable();
+                    let live_expect: Vec<u32> =
+                        got.iter().copied().filter(|&id| !cancelled[id as usize]).collect();
+                    prop_assert_eq!(live, live_expect);
+                }
+            }
+        }
+        // Final drain: everything filed — cancelled or not — comes out
+        // exactly once; nothing is stranded.
+        now += 80_000_000;
+        due.clear();
+        wheel.advance(SimTime(now), &mut due);
+        prop_assert_eq!(due.len(), oracle.len(), "final drain left entries stranded");
+        prop_assert!(wheel.is_empty(), "wheel must be empty after full drain");
+    }
+
     /// Chop-invariance: the same deadline set drained by two different
     /// advance schedules (one jump vs many steps) delivers the same
     /// multiset of entries.
@@ -102,4 +186,24 @@ proptest! {
         prop_assert!(big.is_empty());
         prop_assert!(small.is_empty());
     }
+}
+
+#[test]
+fn below_watermark_insert_comes_out_on_the_next_advance() {
+    // The scrub path a churn re-arrival exercises: the watermark has
+    // already passed the new entry's deadline (the owning table saw a
+    // later instant before the insert), so the wheel must clamp the
+    // entry to its current tick — an advance to the *same* instant
+    // delivers it, rather than stranding it in a bucket the cursor
+    // already passed.
+    let mut wheel = TimerWheel::default();
+    let mut due = Vec::new();
+    wheel.advance(SimTime(5_000_000), &mut due);
+    assert!(due.is_empty());
+    wheel.insert(SimTime(1_000), 7, 3); // deadline 5 ms in the past
+    assert_eq!(wheel.len(), 1);
+    wheel.advance(SimTime(5_000_000), &mut due);
+    assert_eq!(due.len(), 1, "clamped entry delivered at the unchanged watermark");
+    assert_eq!((due[0].slot, due[0].gen), (7, 3));
+    assert!(wheel.is_empty());
 }

@@ -92,3 +92,20 @@ fn e9_congested_runs_are_seed_stable() {
         assert_ne!(a, c, "{mode:?}: the seed must actually steer the workload");
     }
 }
+
+#[test]
+fn e11_churned_runs_are_seed_stable() {
+    // E11 adds the churn event sources — scheduled host link flips,
+    // d-left eviction storms in the undersized regime, timer-wheel
+    // mass-expiry sweeps — and the whole stack must replay
+    // bit-identically from the seed, with the seed actually steering
+    // the script (different arrivals, departures and rack moves).
+    use arppath_bench::experiments::e11_churn::{self, E11Params, TableRegime};
+    let params = |seed| E11Params { horizon: SimDuration::millis(60), seed, ..E11Params::for_k(4) };
+    let a = e11_churn::delivery_trace(&params(0xE11), TableRegime::Undersized);
+    let b = e11_churn::delivery_trace(&params(0xE11), TableRegime::Undersized);
+    assert!(!a.is_empty(), "churn scenario must produce traffic");
+    assert_eq!(a, b, "identical churn seeds diverged");
+    let c = e11_churn::delivery_trace(&params(7), TableRegime::Undersized);
+    assert_ne!(a, c, "the seed must actually steer the churn script");
+}
