@@ -24,14 +24,22 @@
 //! (0 disables it); `--e9-cc fixed|aimd|both` restricts E9's
 //! congestion-controller axis.
 //!
+//! `repro -- e12` sweeps the k=16 fabric over 1/2/4/8 workers
+//! (wall clock, sync rounds per simulated ms, bytes per station) and
+//! verifies trace identity across the sweep; `--e12-lookahead
+//! matrix|global` picks the window computation (`global` is the PR 4
+//! sync-cost baseline), and `--shards`/`--trace-out` capture the
+//! byte-comparable trace at one worker count.
+//!
 //! `--bench-json FILE` additionally writes the machine-readable bench
 //! trajectory (schema documented in `BASELINES.md`): per-experiment
 //! wall clocks, the quick E9 incast guard (with its per-controller
 //! FCT p99s), the quick E11 churn guard (with its undersized eviction
-//! count and correction p99), plus the fast-table micro medians. The
-//! committed `BENCH_PR5.json`/`BENCH_PR7.json`/`BENCH_PR9.json` are
-//! such files; CI re-captures a quick one and gates it with the
-//! `bench-guard` subcommand:
+//! count and correction p99), the quick E12 scale guard (with the SoA
+//! `dleft_bytes_per_station` figure), plus the fast-table micro
+//! medians. The committed `BENCH_PR5.json`/`BENCH_PR7.json`/
+//! `BENCH_PR9.json`/`BENCH_PR10.json` are such files; CI re-captures
+//! a quick one and gates it with the `bench-guard` subcommand:
 //!
 //! ```text
 //! repro -- bench-guard --baseline BENCH_PR7.json --current ci.json \
@@ -39,8 +47,8 @@
 //! ```
 
 use arppath_bench::experiments::{
-    e11_churn, e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation, e8_fattree,
-    e9_congestion,
+    e11_churn, e12_scale, e1_latency, e2_repair, e3_linerate, e5_load, e6_proxy, e7_ablation,
+    e8_fattree, e9_congestion,
 };
 use arppath_bench::{difftest, micro};
 use arppath_host::TrafficPattern;
@@ -205,6 +213,21 @@ fn main() {
         Some(ms) => PauseWatchdog::force_resume(SimDuration::millis(ms)),
         None => default,
     };
+    // E12 knob: `--e12-lookahead matrix|global` picks the window
+    // computation (the global mode is the PR 4 sync-cost baseline).
+    let e12_matrix: bool = match take_value(&mut args, "--e12-lookahead").as_deref() {
+        None | Some("matrix") => true,
+        Some("global") => false,
+        Some(other) => panic!("--e12-lookahead expects matrix|global, got {other}"),
+    };
+    // `--e12-k K` overrides E12's fabric arity; with `--e12-shards
+    // a,b,...` it turns the sweep into an arbitrary measurement rig —
+    // the matrix-vs-global acceptance numbers in BASELINES.md come
+    // from `e12 --e12-k 8 --e12-shards 2 --e12-lookahead <mode>`.
+    let e12_k: Option<usize> =
+        take_value(&mut args, "--e12-k").map(|v| v.parse().expect("--e12-k expects a number"));
+    let e12_shard_counts: Option<Vec<usize>> = take_value(&mut args, "--e12-shards")
+        .map(|v| v.split(',').map(|s| s.parse().expect("--e12-shards expects numbers")).collect());
     let incast_gate = args.iter().any(|a| a == "--incast-gate");
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> =
@@ -244,17 +267,18 @@ fn main() {
         );
         std::process::exit(if ok { 0 } else { 1 });
     }
-    // Both flags only act on E8/E9/E11; warn instead of silently
-    // ignoring them when the selection excludes all three.
-    if !want("e8") && !want("e9") && !want("e11") {
+    // Both flags only act on E8/E9/E11/E12; warn instead of silently
+    // ignoring them when the selection excludes all four.
+    if !want("e8") && !want("e9") && !want("e11") && !want("e12") {
         if shards > 1 {
             eprintln!(
-                "[repro] warning: --shards only affects e8/e9/e11, none of which is selected"
+                "[repro] warning: --shards only affects e8/e9/e11/e12, none of which is selected"
             );
         }
         if trace_out.is_some() {
             eprintln!(
-                "[repro] warning: --trace-out only applies to e8/e9/e11, none of which is selected"
+                "[repro] warning: --trace-out only applies to e8/e9/e11/e12, \
+                 none of which is selected"
             );
         }
     }
@@ -555,6 +579,65 @@ fn main() {
         }
     }
 
+    if want("e12") {
+        // Shard-scaling sweep on the k=16 fabric. Unlike e8/e9/e11,
+        // `--shards` does not pick the engine here (the sweep covers
+        // 1/2/4/8 itself); it selects the worker count for the
+        // `--trace-out` capture.
+        let params = if quick { e12_scale::E12Params::quick() } else { Default::default() };
+        let mut params = e12_scale::E12Params { use_matrix: e12_matrix, ..params };
+        if let Some(k) = e12_k {
+            assert!(k >= 4 && k % 2 == 0, "--e12-k must be an even arity >= 4");
+            params.k = k;
+        }
+        if let Some(counts) = e12_shard_counts.clone() {
+            assert!(!counts.is_empty(), "--e12-shards must name at least one count");
+            params.shard_counts = counts;
+        }
+        eprintln!(
+            "[repro] running E12 (shard scaling), k={}, {} hosts/edge, sweep {:?}, {} lookahead...",
+            params.k,
+            params.hosts_per_edge,
+            params.shard_counts,
+            if params.use_matrix { "matrix" } else { "global" }
+        );
+        let started = Instant::now();
+        let result = e12_scale::run(&params);
+        eprintln!("[repro] e12 sweep took {} ms", started.elapsed().as_millis());
+        wall_ms.push(("e12_sweep_ms".into(), started.elapsed().as_secs_f64() * 1e3));
+        println!("{}", e12_scale::table(&result).render_markdown());
+        println!("{}", e12_scale::footprint_table(&result).render_markdown());
+        println!(
+            "every worker count delivers every datagram: {}",
+            if e12_scale::verify_delivery(&result) { "HOLDS" } else { "VIOLATED" }
+        );
+        println!(
+            "SoA planes under the AoS footprint: {}",
+            if e12_scale::verify_footprint(&result) { "HOLDS" } else { "VIOLATED" }
+        );
+        eprintln!("[repro] e12: comparing merged traces across {:?}...", params.shard_counts);
+        println!(
+            "merged delivery trace byte-identical at every worker count: {}\n",
+            if e12_scale::verify_trace_identity(&params) { "HOLDS" } else { "VIOLATED" }
+        );
+        if let Some(path) = &trace_out {
+            // The canonical E12 artifact: the sweep scenario's trace at
+            // the `--shards` worker count. Identical bytes regardless
+            // of --shards; CI diffs shards=1 against shards=4. When
+            // E8/E9/E11 also ran (and own `path`), goes to `path.e12`.
+            let e12_path = if want("e8") || want("e9") || want("e11") {
+                format!("{path}.e12")
+            } else {
+                path.clone()
+            };
+            eprintln!("[repro] capturing E12 delivery trace ({shards} shard(s)) -> {e12_path}");
+            let trace = e12_scale::delivery_trace(&params, shards);
+            let mut body = trace.join("\n");
+            body.push('\n');
+            std::fs::write(&e12_path, body).expect("write --trace-out file");
+        }
+    }
+
     if let Some(path) = &bench_json {
         // The guard key: a quick-geometry E8 run, measured in-process.
         // Under --quick the sweep above already ran it; re-run either
@@ -661,11 +744,35 @@ fn main() {
         }
         wall_ms.push(("e11_churn_quick_ms".into(), best_ms));
         wall_ms.extend(churn_keys);
+        // Fourth guard pair since PR 10: the quick E12 shard-scaling
+        // sweep (k=16 skeleton, all four worker counts, matrix
+        // lookahead) and the SoA bytes-per-station figure it measures
+        // — the two numbers the shard-scaling push is accountable for.
+        eprintln!("[repro] bench-json: timing the quick E12 scale guard workload...");
+        let scale_params = e12_scale::E12Params::quick();
+        let mut best_ms = f64::INFINITY;
+        let mut scale_keys = Vec::new();
+        for _ in 0..3 {
+            let started = Instant::now();
+            let result = e12_scale::run(&scale_params);
+            best_ms = best_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            assert!(
+                e12_scale::verify_delivery(&result),
+                "quick E12 must deliver everything at every worker count"
+            );
+            assert!(
+                e12_scale::verify_footprint(&result),
+                "quick E12 SoA footprint must undercut the AoS layout"
+            );
+            scale_keys = vec![("dleft_bytes_per_station".to_string(), result.bytes_per_station())];
+        }
+        wall_ms.push(("e12_scale_quick_ms".into(), best_ms));
+        wall_ms.extend(scale_keys);
         eprintln!("[repro] bench-json: running fast-table micro measurements...");
         let micro_ns: Vec<(String, f64)> =
             micro::measure_all().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         let json = format!(
-            "{{\n  \"schema\": \"arppath-bench-trajectory/v1\",\n  \"pr\": \"PR9\",\n  \
+            "{{\n  \"schema\": \"arppath-bench-trajectory/v1\",\n  \"pr\": \"PR10\",\n  \
              \"quick\": {},\n  \"wall_ms\": {{\n{}\n  }},\n  \"micro_ns\": {{\n{}\n  }}\n}}\n",
             quick,
             json_section(&wall_ms),

@@ -11,7 +11,9 @@
 //!   flood collisions land),
 //! * traffic pattern (permutation / hotspot incast),
 //! * queue policy (infinite / drop-tail / PFC) and the pause watchdog,
-//! * shard count and partition strategy (rack-major / round-robin),
+//! * shard count (2–4), partition strategy (rack-major / round-robin)
+//!   and the window computation (per-pair lookahead matrix vs the
+//!   global-`L` compatibility oracle),
 //! * station churn (E11-style arrivals, departures and rack moves on
 //!   undersized tables — link-admin events, eviction storms and
 //!   mass-expiry sweeps all cross the engines' event order).
@@ -78,6 +80,10 @@ pub struct Spec {
     /// Fraction of departures that are rack moves (‰); only
     /// meaningful when `churn > 0`.
     pub mobility: u32,
+    /// `true` = per-pair lookahead matrix, `false` = the global-`L`
+    /// compatibility window — both window computations must agree with
+    /// the single-threaded reference.
+    pub matrix: bool,
 }
 
 impl Spec {
@@ -88,7 +94,7 @@ impl Spec {
     pub fn generate(seed: u64) -> Spec {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let k = [4, 6, 8][rng.gen_range(0..3usize)];
-        let shards = rng.gen_range(2..=3usize);
+        let shards = rng.gen_range(2..=4usize);
         let mut spec = Spec {
             k,
             hosts_per_edge: rng.gen_range(1..=2usize),
@@ -105,6 +111,7 @@ impl Spec {
             },
             churn: 0,
             mobility: 0,
+            matrix: rng.gen_range(0..2u32) == 0,
         };
         // One in four scenarios exercises the churn family instead:
         // link flaps, evictions and timer-wheel sweeps replace queue
@@ -121,7 +128,7 @@ impl Spec {
     pub fn render(&self) -> String {
         format!(
             "k={} hosts_per_edge={} segments={} seed={} pattern={} mode={} \
-             watchdog={} shards={} partition={} churn={} mobility={}",
+             watchdog={} shards={} partition={} churn={} mobility={} lookahead={}",
             self.k,
             self.hosts_per_edge,
             self.segments,
@@ -133,6 +140,7 @@ impl Spec {
             self.partition.label(),
             self.churn,
             self.mobility,
+            if self.matrix { "matrix" } else { "global" },
         )
     }
 
@@ -154,6 +162,9 @@ impl Spec {
             partition: PartitionKind::RackMajor,
             churn: 0,
             mobility: 0,
+            // Reproducer lines from before the matrix knob existed
+            // replay in the production (matrix) mode.
+            matrix: true,
         };
         for field in line.split_whitespace() {
             let (key, value) =
@@ -181,6 +192,13 @@ impl Spec {
                 }
                 "churn" => spec.churn = value.parse().expect("churn"),
                 "mobility" => spec.mobility = value.parse().expect("mobility"),
+                "lookahead" => {
+                    spec.matrix = match value {
+                        "matrix" => true,
+                        "global" => false,
+                        other => panic!("unknown lookahead {other:?}"),
+                    }
+                }
                 other => panic!("unknown field {other:?}"),
             }
         }
@@ -221,6 +239,7 @@ impl Spec {
             mobility_per_mille: self.mobility,
             seed: self.seed,
             shards,
+            use_matrix: self.matrix,
             ..E11Params::for_k(self.k)
         }
     }
@@ -247,7 +266,7 @@ impl Spec {
                 }
                 PartitionKind::RoundRobin => Partition::round_robin(bridges, hosts, shards),
             };
-            let mut topo = t.build_sharded(&partition, true);
+            let mut topo = t.build_sharded_with(&partition, true, self.matrix);
             topo.net.run_until(deadline);
             topo.net.delivery_trace()
         } else {
@@ -275,8 +294,8 @@ impl DiffScenario for Spec {
     /// (segments, hosts), then the fabric (k), then simplify the
     /// configuration one axis at a time toward the quiet defaults
     /// (permutation, infinite queues, watchdog off, 2 shards,
-    /// rack-major). The seed is never shrunk — it is what makes the
-    /// scenario reproduce.
+    /// rack-major, matrix windows). The seed is never shrunk — it is
+    /// what makes the scenario reproduce.
     fn shrink(&self) -> Vec<Spec> {
         let mut out = Vec::new();
         if self.segments > 1 {
@@ -310,6 +329,12 @@ impl DiffScenario for Spec {
         }
         if self.partition != PartitionKind::RackMajor {
             out.push(Spec { partition: PartitionKind::RackMajor, ..*self });
+        }
+        if !self.matrix {
+            // Toward the production window computation: if the
+            // divergence survives the switch, the global-`L`
+            // compatibility path was incidental.
+            out.push(Spec { matrix: true, ..*self });
         }
         out
     }
@@ -402,7 +427,11 @@ mod tests {
         assert!(a.iter().any(|s| s.k == 6) && a.iter().any(|s| s.k == 8));
         assert!(a.iter().any(|s| s.partition == PartitionKind::RoundRobin));
         assert!(a.iter().any(|s| s.mode == QueueMode::Pfc));
-        assert!(a.iter().any(|s| s.shards == 3));
+        assert!(a.iter().any(|s| s.shards == 3) && a.iter().any(|s| s.shards == 4));
+        assert!(
+            a.iter().any(|s| s.matrix) && a.iter().any(|s| !s.matrix),
+            "both window computations must be drawn"
+        );
         assert!(a.iter().any(|s| s.churn > 0), "the churn family must be drawn");
         assert!(
             a.iter().filter(|s| s.churn > 0).all(|s| s.partition == PartitionKind::RackMajor),
@@ -414,10 +443,11 @@ mod tests {
     fn shrink_strictly_reduces_or_simplifies() {
         let spec = Spec::parse(
             "k=8 hosts_per_edge=2 segments=16 seed=7 pattern=hotspot mode=pfc \
-             watchdog=on shards=3 partition=round-robin churn=25 mobility=500",
+             watchdog=on shards=3 partition=round-robin churn=25 mobility=500 \
+             lookahead=global",
         );
         let shrunk = spec.shrink();
-        assert_eq!(shrunk.len(), 10, "every axis has somewhere to go");
+        assert_eq!(shrunk.len(), 11, "every axis has somewhere to go");
         for s in &shrunk {
             assert_ne!(*s, spec);
         }

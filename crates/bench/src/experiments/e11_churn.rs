@@ -166,6 +166,9 @@ pub struct E11Params {
     /// Worker threads; `1` = single-threaded engine, `≥ 2` = sharded
     /// (rack-major, clamped to `k` like E8/E9).
     pub shards: usize,
+    /// Per-pair lookahead matrix (vs the global-`L` compatibility
+    /// window); only meaningful when `shards > 1`.
+    pub use_matrix: bool,
 }
 
 impl E11Params {
@@ -186,6 +189,7 @@ impl E11Params {
             mobility_per_mille: 400,
             seed: 0xE11,
             shards: 1,
+            use_matrix: true,
         }
     }
 }
@@ -418,7 +422,7 @@ fn instantiate(
     let shards = params.shards.min(ft.k);
     if shards > 1 {
         let partition = Partition::rack_major(ft, grid.slots_per_rack, grid.hosts(), shards);
-        Fabric::Sharded(Box::new(t.build_sharded(&partition, trace)))
+        Fabric::Sharded(Box::new(t.build_sharded_with(&partition, trace, params.use_matrix)))
     } else {
         Fabric::Single(Box::new(t.build()))
     }

@@ -1,0 +1,332 @@
+//! **E12 — shard-scaling push: the k=16 fabric on 1/2/4/8 workers.**
+//!
+//! The All-Path scalability question (arXiv:1703.08744) is ultimately
+//! about how far per-host-pair path state and the machinery simulating
+//! it scale. E8 stops at k=8; this experiment instantiates the k=16
+//! jittered fat-tree — 320 switches, 128 edge racks, up to 16k hosts
+//! (`hosts_per_edge` ≤ 128; geometry auto-derived per PR 8's
+//! autosizing) — and sweeps the sharded engine's worker count,
+//! reporting three numbers per point:
+//!
+//! * **wall clock** per shard count (the scaling curve itself);
+//! * **sync rounds per simulated millisecond** — how often the
+//!   conservative window protocol made the workers rendezvous; the
+//!   per-pair lookahead matrix (PR 10) exists to push this down;
+//! * **bytes per station** — the d-left path tables' heap footprint
+//!   (SoA planes, PR 10) summed over every bridge and divided by the
+//!   attached host count, with the pre-PR array-of-structs layout as
+//!   the yardstick.
+//!
+//! Correctness rides along: every run must deliver every datagram, and
+//! the merged delivery trace must be byte-identical across *all* shard
+//! counts ([`verify_trace_identity`]; CI additionally diffs
+//! `--trace-out` files). The `use_matrix` knob collapses the lookahead
+//! matrix to the PR 4 global-`L` computation so the sync-cost win is
+//! measurable on the same scenario (`repro -- e12 --e12-lookahead
+//! global`).
+
+use super::{host_ip, host_mac};
+use arppath::{ArpPathBridge, ArpPathConfig};
+use arppath_host::{pairings, TrafficConfig, TrafficHost, TrafficPattern};
+use arppath_metrics::Table;
+use arppath_netsim::{DeliveryTracer, SimDuration, SimTime};
+use arppath_topo::{generic, BridgeIx, BridgeKind, FatTree, Partition, TopoBuilder};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Parameters of one E12 sweep (one fabric, several worker counts).
+#[derive(Debug, Clone)]
+pub struct E12Params {
+    /// Fat-tree arity (even). The headline configuration is 16.
+    pub k: usize,
+    /// Hosts attached per edge switch (`k²/2` edges; 128 at k=16, so
+    /// up to 16 384 hosts at full racks of 128).
+    pub hosts_per_edge: usize,
+    /// UDP datagrams each host sends to its permutation peer.
+    pub datagrams: u64,
+    /// UDP payload bytes.
+    pub payload_len: usize,
+    /// Workload + jitter seed.
+    pub seed: u64,
+    /// Worker counts to sweep (each clamped to the pod count `k`).
+    pub shard_counts: Vec<usize>,
+    /// `true`: per-pair lookahead matrix (PR 10). `false`: collapse to
+    /// the PR 4 global-`L` window computation — the sync-cost
+    /// baseline.
+    pub use_matrix: bool,
+}
+
+impl Default for E12Params {
+    fn default() -> Self {
+        E12Params {
+            k: 16,
+            hosts_per_edge: 16,
+            datagrams: 5,
+            payload_len: 700,
+            seed: 0xE12,
+            shard_counts: vec![1, 2, 4, 8],
+            use_matrix: true,
+        }
+    }
+}
+
+impl E12Params {
+    /// The CI-sized configuration: same k=16 fabric shape, one host
+    /// per rack (128 hosts), two datagrams each — small enough to
+    /// sweep all four shard counts and diff traces in seconds.
+    pub fn quick() -> Self {
+        E12Params { hosts_per_edge: 1, datagrams: 2, ..Default::default() }
+    }
+}
+
+/// One worker count's measurements.
+#[derive(Debug, Clone)]
+pub struct E12Row {
+    /// Worker count actually used (requested, clamped to `k`).
+    pub shards: usize,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Exchange-barrier rounds the window protocol executed (0 for the
+    /// single-threaded engine).
+    pub sync_rounds: u64,
+    /// `sync_rounds` per simulated millisecond.
+    pub rounds_per_sim_ms: f64,
+    /// Datagrams delivered fabric-wide.
+    pub delivered: u64,
+    /// Datagrams sent fabric-wide.
+    pub sent: u64,
+}
+
+/// Full E12 output.
+#[derive(Debug, Clone)]
+pub struct E12Result {
+    /// Fat-tree arity.
+    pub k: usize,
+    /// Hosts attached.
+    pub hosts: usize,
+    /// Bridges in the fabric.
+    pub bridges: usize,
+    /// `"matrix"` or `"global"` — which window computation ran.
+    pub lookahead: &'static str,
+    /// One row per swept worker count.
+    pub rows: Vec<E12Row>,
+    /// Σ path-table heap bytes over every bridge (SoA layout).
+    pub table_bytes: usize,
+    /// What the pre-PR-10 AoS slot layout would spend on the same
+    /// geometry.
+    pub table_bytes_aos: usize,
+}
+
+impl E12Result {
+    /// The headline footprint figure: table heap bytes per attached
+    /// station.
+    pub fn bytes_per_station(&self) -> f64 {
+        self.table_bytes as f64 / self.hosts.max(1) as f64
+    }
+
+    /// The AoS yardstick, per station.
+    pub fn aos_bytes_per_station(&self) -> f64 {
+        self.table_bytes_aos as f64 / self.hosts.max(1) as f64
+    }
+}
+
+/// Lay out one E12 scenario — the jittered k-ary fabric and the seeded
+/// permutation workload — shared by every sweep point and the trace
+/// capture, so all of them simulate the *same* network (E8's scenario
+/// discipline).
+fn scenario(params: &E12Params) -> (TopoBuilder, FatTree, SimTime) {
+    let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
+    let ft = generic::fat_tree_jittered(&mut t, params.k, params.seed.wrapping_add(0xFA7));
+    let n = ft.host_capacity(params.hosts_per_edge);
+    let pairs = pairings(n, TrafficPattern::Permutation, params.seed);
+    let warmup = SimDuration::millis(100);
+    let stagger = SimDuration::micros(137);
+    let interval = SimDuration::millis(5);
+    for (i, &dst) in pairs.iter().enumerate() {
+        let id = (i + 1) as u32;
+        let cfg = TrafficConfig {
+            target: host_ip((dst + 1) as u32),
+            start_at: warmup + stagger.times(i as u64),
+            interval,
+            count: params.datagrams,
+            payload_len: params.payload_len,
+            ..Default::default()
+        };
+        let host = TrafficHost::new(format!("h{id}"), host_mac(id), host_ip(id), cfg);
+        t.host(ft.edge_of_host(i, params.hosts_per_edge), Box::new(host));
+    }
+    let deadline = warmup
+        + stagger.times(n as u64)
+        + interval.times(params.datagrams)
+        + SimDuration::millis(200);
+    (t, ft, SimTime(deadline.as_nanos()))
+}
+
+/// Run the sweep: one fresh instantiation of the same scenario per
+/// worker count, wall-clocked; the table footprint is read off the
+/// first run's bridges (the geometry is identical at every point).
+pub fn run(params: &E12Params) -> E12Result {
+    let mut rows = Vec::new();
+    let mut footprint: Option<(usize, usize, usize)> = None; // (bridges, soa, aos)
+    let mut hosts = 0;
+    for &requested in &params.shard_counts {
+        let (t, ft, deadline) = scenario(params);
+        hosts = ft.host_capacity(params.hosts_per_edge);
+        let shards = requested.min(ft.k);
+        let started = Instant::now();
+        let (sync_rounds, sent, delivered, tables) = if shards > 1 {
+            let partition = Partition::rack_major(&ft, params.hosts_per_edge, hosts, shards);
+            let mut topo = t.build_sharded_with(&partition, false, params.use_matrix);
+            topo.net.run_until(deadline);
+            let (mut sent, mut delivered) = (0u64, 0u64);
+            for &h in &topo.host_nodes {
+                let host = topo.net.device::<TrafficHost>(h);
+                sent += host.sent();
+                delivered += host.rx_datagrams;
+            }
+            let tables = table_footprint(topo.bridge_nodes.len(), |ix| topo.arppath(ix));
+            (topo.net.sync_rounds(), sent, delivered, tables)
+        } else {
+            let mut built = t.build();
+            built.net.run_until(deadline);
+            let (mut sent, mut delivered) = (0u64, 0u64);
+            for &h in &built.host_nodes {
+                let host = built.net.device::<TrafficHost>(h);
+                sent += host.sent();
+                delivered += host.rx_datagrams;
+            }
+            let tables = table_footprint(built.bridge_nodes.len(), |ix| built.arppath(ix));
+            (0, sent, delivered, tables)
+        };
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        footprint.get_or_insert(tables);
+        rows.push(E12Row {
+            shards,
+            wall_ms,
+            sync_rounds,
+            rounds_per_sim_ms: sync_rounds as f64 / (deadline.0 as f64 / 1e6),
+            delivered,
+            sent,
+        });
+    }
+    let (bridges, table_bytes, table_bytes_aos) = footprint.expect("shard_counts must be nonempty");
+    E12Result {
+        k: params.k,
+        hosts,
+        bridges,
+        lookahead: if params.use_matrix { "matrix" } else { "global" },
+        rows,
+        table_bytes,
+        table_bytes_aos,
+    }
+}
+
+/// Σ (SoA heap bytes, AoS-equivalent bytes) over every bridge's path
+/// table.
+fn table_footprint<'a>(
+    bridges: usize,
+    arppath: impl Fn(BridgeIx) -> &'a ArpPathBridge,
+) -> (usize, usize, usize) {
+    let mut soa = 0;
+    let mut aos = 0;
+    for ix in 0..bridges {
+        let b = arppath(BridgeIx(ix));
+        soa += b.table_heap_bytes();
+        aos += b.table_heap_bytes_aos_equivalent();
+    }
+    (bridges, soa, aos)
+}
+
+/// The merged, timestamp-sorted delivery trace of one run at `shards`
+/// workers — the byte-comparable artifact CI diffs across shard
+/// counts (`repro -- e12 --quick --shards N --trace-out FILE`).
+pub fn delivery_trace(params: &E12Params, shards: usize) -> Vec<String> {
+    let (t, ft, deadline) = scenario(params);
+    let shards = shards.min(ft.k);
+    if shards > 1 {
+        let hosts = ft.host_capacity(params.hosts_per_edge);
+        let partition = Partition::rack_major(&ft, params.hosts_per_edge, hosts, shards);
+        let mut topo = t.build_sharded_with(&partition, true, params.use_matrix);
+        topo.net.run_until(deadline);
+        topo.net.delivery_trace()
+    } else {
+        let sink = Arc::new(Mutex::new(DeliveryTracer::new()));
+        let mut t = t;
+        t.set_tracer(Box::new(sink.clone()));
+        let mut built = t.build();
+        built.net.run_until(deadline);
+        let records = std::mem::take(&mut sink.lock().unwrap().records);
+        DeliveryTracer::render_sorted(records)
+    }
+}
+
+/// The equivalence half of the acceptance bar: every swept shard count
+/// produces the byte-identical merged trace. Runs the scenario once
+/// per count with tracing on — call on quick geometry unless you mean
+/// to pay full-scale runs twice.
+pub fn verify_trace_identity(params: &E12Params) -> bool {
+    let mut reference: Option<Vec<String>> = None;
+    for &shards in &params.shard_counts {
+        let trace = delivery_trace(params, shards);
+        match &reference {
+            None => reference = Some(trace),
+            Some(r) => {
+                if *r != trace {
+                    return false;
+                }
+            }
+        }
+    }
+    reference.is_some_and(|r| !r.is_empty())
+}
+
+/// Delivery sanity over the sweep: nothing lost at any worker count.
+pub fn verify_delivery(result: &E12Result) -> bool {
+    !result.rows.is_empty() && result.rows.iter().all(|r| r.sent > 0 && r.delivered == r.sent)
+}
+
+/// The footprint half of the acceptance bar: the SoA planes cost less
+/// per station than the AoS layout they replaced.
+pub fn verify_footprint(result: &E12Result) -> bool {
+    result.table_bytes < result.table_bytes_aos
+}
+
+/// Render the scaling table.
+pub fn table(result: &E12Result) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E12 (shard scaling): k={} fat-tree, {} hosts, {} bridges, {} lookahead",
+            result.k, result.hosts, result.bridges, result.lookahead
+        ),
+        &["shards", "wall ms", "sync rounds", "rounds/sim ms", "delivered"],
+    );
+    for r in &result.rows {
+        t.row(&[
+            r.shards.to_string(),
+            format!("{:.0}", r.wall_ms),
+            r.sync_rounds.to_string(),
+            format!("{:.1}", r.rounds_per_sim_ms),
+            format!("{}/{}", r.delivered, r.sent),
+        ]);
+    }
+    t
+}
+
+/// Render the table-footprint report.
+pub fn footprint_table(result: &E12Result) -> Table {
+    let mut t = Table::new(
+        format!("E12: d-left path-table footprint, k={} ({} stations)", result.k, result.hosts),
+        &["layout", "total bytes", "bytes/station"],
+    );
+    t.row(&[
+        "SoA planes (PR 10)".into(),
+        result.table_bytes.to_string(),
+        format!("{:.0}", result.bytes_per_station()),
+    ]);
+    t.row(&[
+        "AoS slots (pre-PR)".into(),
+        result.table_bytes_aos.to_string(),
+        format!("{:.0}", result.aos_bytes_per_station()),
+    ]);
+    t
+}

@@ -18,6 +18,7 @@
 //! `repro` subcommand.
 
 pub mod e11_churn;
+pub mod e12_scale;
 pub mod e1_latency;
 pub mod e2_repair;
 pub mod e3_linerate;

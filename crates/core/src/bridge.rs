@@ -149,6 +149,20 @@ impl ArpPathBridge {
         self.table.capacity()
     }
 
+    /// Heap bytes the path table spends (SoA planes + generation
+    /// stamps + timer wheel). Summed across a fabric's bridges and
+    /// divided by the station count this is the bytes-per-station
+    /// figure experiment E12 reports and bench-guard gates.
+    pub fn table_heap_bytes(&self) -> usize {
+        self.table.heap_bytes()
+    }
+
+    /// What the pre-PR-10 array-of-structs slot layout would spend on
+    /// the same geometry — the yardstick for the SoA footprint gate.
+    pub fn table_heap_bytes_aos_equivalent(&self) -> usize {
+        self.table.heap_bytes_aos_equivalent()
+    }
+
     /// Churn/aging instrumentation snapshot of the path table
     /// (occupancy high-water, mass-expiry sweep shape, eviction-victim
     /// age histogram) — the E11 observables.

@@ -22,19 +22,26 @@
 //!    receiving shard re-parses with [`EthernetFrame::parse_bytes`] —
 //!    sharing the one allocation — and schedules it with
 //!    [`Network::inject_at`].
-//! 3. The **lookahead** `L` is the minimum propagation delay over all
-//!    cross-shard links. A shard whose earliest pending event sits at
-//!    `t` cannot deliver anything to a neighbour before `t + L` — and
-//!    a neighbour reacting to someone else's frame cannot emit before
-//!    the global minimum `W` plus `2L` (one hop in, one hop out).
-//!    Each shard therefore runs every event strictly before its
-//!    *horizon* `min(min_other, W + L) + L`, where `min_other` is the
-//!    earliest next event among the **other** shards — the
-//!    Chandy–Misra–Bryant safe-time fixed point with per-link
-//!    lookahead collapsed to the global minimum. Each round the
-//!    workers publish next-event times into a shared array, agree at a
-//!    barrier, run to their horizons, exchange boundary frames, and
-//!    repeat until the global minimum passes the run bound.
+//! 3. The **lookahead matrix** holds, per ordered shard pair `(s, d)`,
+//!    the minimum propagation delay over cut links that can carry a
+//!    frame from `s` to `d` (`∞` when no cut joins the pair). Shard
+//!    `j` cannot *act* before `eff(j)` — the earlier of its own next
+//!    event and the earliest boundary frame still bound for it — and
+//!    cannot *react* to this window's traffic before the global floor
+//!    `W` plus its cheapest incoming cut `in(j)`. So nothing from `j`
+//!    reaches `i` before `min(eff(j), W + in(j)) + pair[j][i]`, and
+//!    shard `i`'s *horizon* is the minimum of that bound over the
+//!    neighbours that can actually reach it (null-message style: an
+//!    idle or unreachable pair stops bounding a busy one), capped by
+//!    any boundary frame already bound for `i`. Collapsing every pair
+//!    to the global minimum `L` recovers the PR 4 window
+//!    `min(min_other, W + L) + L`, kept as the oracle
+//!    ([`ShardedBuilder::use_lookahead_matrix`]). Each round the
+//!    workers run to their horizons, flush boundary frames, and agree
+//!    on the next window at a **single** exchange barrier — the
+//!    publish and the post-flush waits of the PR 4 design fused into
+//!    one synchronization point per round — until the floor passes the
+//!    run bound.
 //!
 //! # Determinism
 //!
@@ -112,8 +119,8 @@ use crate::trace::{DeliveryRecord, DeliveryTracer};
 use arppath_wire::EthernetFrame;
 use bytes::Bytes;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Fault-injection knob for `difftest --self-check`: extra nanoseconds
@@ -130,6 +137,147 @@ static UNSOUND_HORIZON_WIDEN_NS: AtomicU64 = AtomicU64::new(0);
 #[doc(hidden)]
 pub fn set_unsound_horizon_widen(ns: u64) {
     UNSOUND_HORIZON_WIDEN_NS.store(ns, Ordering::Relaxed);
+}
+
+/// Test knob forcing every frame-exchange channel to a fixed capacity
+/// (0 = off, use the derived sizing). Small capacities exercise the
+/// non-blocking flush path: a full channel leaves the batch pending on
+/// the sender, covered by the published `msg_min` row so no horizon
+/// can run past it — capacity is a performance knob, never a
+/// correctness bound. The regression test pins completion and trace
+/// identity at capacity 1.
+static CHANNEL_CAPACITY_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force every shard-exchange channel to `cap` slots (`0` restores the
+/// derived sizing). **Test-only**: concurrent sharded runs in the same
+/// process all observe the override; results stay byte-identical, only
+/// round counts change.
+#[doc(hidden)]
+pub fn set_channel_capacity_override(cap: usize) {
+    CHANNEL_CAPACITY_OVERRIDE.store(cap, Ordering::Relaxed);
+}
+
+/// Per-shard-pair conservative lookahead. `pair[src * n + dst]` is the
+/// minimum propagation delay (nanoseconds) over cut links that can
+/// carry a frame from shard `src` to shard `dst`, `u64::MAX` when no
+/// cut link joins the pair — such a source can never reach the
+/// destination directly and contributes nothing to its horizon.
+///
+/// Public (hidden) so the horizon property tests can drive
+/// [`window_horizons`] against the collapsed global-`L` oracle.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct LookaheadMatrix {
+    n: usize,
+    pair: Vec<u64>,
+    /// Per-destination minimum over all sources (`u64::MAX`: no cut
+    /// link reaches the shard at all).
+    in_min: Vec<u64>,
+}
+
+impl LookaheadMatrix {
+    /// A matrix over `n` shards with every pair unreachable.
+    pub fn new(n: usize) -> Self {
+        LookaheadMatrix { n, pair: vec![u64::MAX; n * n], in_min: vec![u64::MAX; n] }
+    }
+
+    /// Number of shards the matrix covers.
+    pub fn shard_count(&self) -> usize {
+        self.n
+    }
+
+    /// Record a cut link between shards `a` and `b` with the given
+    /// propagation delay; frames cross it in both directions.
+    pub fn observe_cut(&mut self, a: usize, b: usize, propagation_ns: u64) {
+        debug_assert!(a != b && propagation_ns > 0);
+        for (s, d) in [(a, b), (b, a)] {
+            let p = &mut self.pair[s * self.n + d];
+            *p = (*p).min(propagation_ns);
+            let q = &mut self.in_min[d];
+            *q = (*q).min(propagation_ns);
+        }
+    }
+
+    /// Lookahead from shard `src` to shard `dst` (`u64::MAX` when
+    /// unreachable).
+    pub fn between(&self, src: usize, dst: usize) -> u64 {
+        self.pair[src * self.n + dst]
+    }
+
+    /// The global minimum over every cut (`u64::MAX`: nothing is cut).
+    pub fn global_min(&self) -> u64 {
+        self.pair.iter().copied().min().unwrap_or(u64::MAX)
+    }
+
+    /// Collapse every off-diagonal pair to the global minimum — the
+    /// PR 4 window computation (every shard bounds every other at the
+    /// cheapest cut anywhere), kept as the difftest's `matrix=0` mode
+    /// and the property-test oracle.
+    pub fn collapse_to_global(&mut self) {
+        let l = self.global_min();
+        if l == u64::MAX {
+            return;
+        }
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s != d {
+                    self.pair[s * self.n + d] = l;
+                }
+            }
+        }
+        for d in 0..self.n {
+            self.in_min[d] = if self.n > 1 { l } else { u64::MAX };
+        }
+    }
+}
+
+/// One window agreement as a pure function of the exchanged state:
+/// `next[j]` is shard `j`'s earliest pending local event and
+/// `msg_min[s * n + d]` the earliest boundary frame from `s` to `d`
+/// that may not have reached `d`'s heap yet (`u64::MAX` when none).
+/// Returns `(w_start, horizons)` — the global window floor and every
+/// shard's exclusive execution horizon.
+///
+/// The Chandy–Misra–Bryant argument, per pair: shard `j` cannot *act*
+/// before `eff(j) = min(next[j], earliest frame still bound for j)`,
+/// and cannot *react* to this window's traffic before `w + in(j)` (a
+/// frame needs at least `j`'s cheapest incoming cut to reach it). So
+/// `j` emits nothing before `min(eff(j), w + in(j))`, and nothing from
+/// `j` reaches `i` before that plus `pair[j][i]`; unreachable pairs
+/// contribute nothing. Boundary frames already bound for `i` cap its
+/// horizon directly. With every pair collapsed to the global `L` this
+/// reduces exactly to PR 4's `min(min_other, w + L) + L`, which the
+/// property suite pins as a lower bound: per-pair horizons are never
+/// smaller (never less parallel) than the global-`L` oracle's.
+#[doc(hidden)]
+pub fn window_horizons(m: &LookaheadMatrix, next: &[u64], msg_min: &[u64]) -> (u64, Vec<u64>) {
+    let n = m.n;
+    debug_assert_eq!(next.len(), n);
+    debug_assert_eq!(msg_min.len(), n * n);
+    let inbound = |d: usize| (0..n).map(|s| msg_min[s * n + d]).min().unwrap_or(u64::MAX);
+    let eff: Vec<u64> = (0..n).map(|j| next[j].min(inbound(j))).collect();
+    let w = eff.iter().copied().min().unwrap_or(u64::MAX);
+    if w == u64::MAX {
+        return (w, vec![u64::MAX; n]);
+    }
+    let horizons = (0..n)
+        .map(|i| {
+            let mut h = inbound(i);
+            for (j, &eff_j) in eff.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let l_ji = m.pair[j * n + i];
+                if l_ji == u64::MAX {
+                    continue;
+                }
+                let emit = eff_j.min(w.saturating_add(m.in_min[j]));
+                h = h.min(emit.saturating_add(l_ji));
+            }
+            h
+        })
+        .collect();
+    (w, horizons)
 }
 
 /// One window's worth of cross-shard frames for one destination.
@@ -283,6 +431,7 @@ pub struct ShardedBuilder {
     devices: Vec<Box<dyn Device>>,
     links: Vec<(Endpoint, Endpoint, LinkParams)>,
     record_deliveries: bool,
+    use_matrix: bool,
 }
 
 impl ShardedBuilder {
@@ -292,7 +441,23 @@ impl ShardedBuilder {
     /// If `shards` is zero.
     pub fn new(shards: usize) -> Self {
         assert!(shards >= 1, "a sharded network needs at least one shard");
-        ShardedBuilder { shards, devices: Vec::new(), links: Vec::new(), record_deliveries: false }
+        ShardedBuilder {
+            shards,
+            devices: Vec::new(),
+            links: Vec::new(),
+            record_deliveries: false,
+            use_matrix: true,
+        }
+    }
+
+    /// Choose the window computation: `true` (the default) uses the
+    /// per-shard-pair lookahead matrix, `false` collapses every pair to
+    /// the global minimum `L` — the PR 4 design, kept as the oracle for
+    /// the horizon property tests and the difftest's `matrix=0` axis.
+    /// Both modes produce byte-identical traces; only window sizes (and
+    /// so round counts and wall clock) differ.
+    pub fn use_lookahead_matrix(&mut self, on: bool) {
+        self.use_matrix = on;
     }
 
     /// Attach a device; global ids are handed out in insertion order.
@@ -365,11 +530,14 @@ impl ShardedBuilder {
             counts[s] += 1;
         }
 
-        // Conservative lookahead: the cheapest cut link bounds how far
-        // any shard may run ahead of the others.
+        // Conservative lookahead: per ordered shard pair, the cheapest
+        // cut link that can carry a frame between them bounds how far
+        // the destination may run ahead of the source.
         let mut lookahead: Option<SimDuration> = None;
+        let mut matrix = LookaheadMatrix::new(shards);
         for &(ea, eb, params) in &self.links {
-            if assignment[ea.node.0] != assignment[eb.node.0] {
+            let (sa, sb) = (assignment[ea.node.0], assignment[eb.node.0]);
+            if sa != sb {
                 assert!(
                     params.propagation > SimDuration::ZERO,
                     "cross-shard link {:?}—{:?} has zero propagation delay: conservative \
@@ -377,9 +545,13 @@ impl ShardedBuilder {
                     ea.node,
                     eb.node
                 );
+                matrix.observe_cut(sa, sb, params.propagation.as_nanos());
                 lookahead =
                     Some(lookahead.map_or(params.propagation, |l| l.min(params.propagation)));
             }
+        }
+        if !self.use_matrix {
+            matrix.collapse_to_global();
         }
 
         let mut builders: Vec<NetworkBuilder> =
@@ -504,66 +676,149 @@ impl ShardedBuilder {
             local_id,
             links,
             lookahead,
+            matrix,
+            use_matrix: self.use_matrix,
+            sync_rounds: 0,
             now: SimTime::ZERO,
         }
     }
 }
 
-/// A cyclic barrier whose [`abort`](AbortableBarrier::abort) releases
-/// every current *and future* waiter immediately.
+/// The per-round synchronization point: an abortable cyclic barrier
+/// that *carries data*. Arrivers publish their next-event time and
+/// per-destination earliest-undelivered-frame row; the last arriver
+/// computes the window ([`window_horizons`]) once, and every waiter
+/// leaves with the agreed `(w_start, horizon)` for its shard. Fusing
+/// the PR 4 publish barrier and post-flush barrier into one
+/// synchronization per round halves the barrier wakeups a window
+/// costs — the dominant sharded overhead on few-core machines.
 ///
-/// `std::sync::Barrier` has no escape hatch, and the panic path needs
-/// one: a panicking worker cannot know which generation its healthy
-/// siblings will reach next. If it joins "one more" generation while a
-/// sibling observes the poison flag right after its own release and
-/// exits without waiting again, the panicking worker is stranded at a
-/// barrier that never fills (the difftest fault-injection self-check
-/// deadlocked on exactly that race).
-struct AbortableBarrier {
-    state: Mutex<BarrierState>,
+/// `abort` releases every current *and future* waiter immediately.
+/// `std::sync::Barrier` has no such escape hatch, and the panic path
+/// needs one: a panicking worker cannot know which generation its
+/// healthy siblings will reach next. If it joins "one more" generation
+/// while a sibling observes the poison flag right after its own
+/// release and exits without waiting again, the panicking worker is
+/// stranded at a barrier that never fills (the difftest
+/// fault-injection self-check deadlocked on exactly that race).
+struct ExchangeBarrier {
+    state: Mutex<ExchangeState>,
     cv: Condvar,
     n: usize,
+    matrix: LookaheadMatrix,
 }
 
-struct BarrierState {
+struct ExchangeState {
     arrived: usize,
     generation: u64,
+    /// Independent counter/generation for the data-free second
+    /// rendezvous the PR 4 compatibility mode adds per round.
+    arrived_sync: usize,
+    generation_sync: u64,
     aborted: bool,
+    /// Completed exchanges — the run's synchronization-round count.
+    rounds: u64,
+    /// Double-buffered by generation parity: arrivers at generation
+    /// `g` write `inputs[g % 2]`, and the buffers are not rewritten
+    /// before generation `g + 2` — which cannot start until every
+    /// waiter of `g` has read its result (readers hold the state lock
+    /// when they wake from the condvar).
+    next: [Vec<u64>; 2],
+    msg_min: [Vec<u64>; 2],
+    /// The agreed window per parity: `(w_start, horizons)`.
+    window: [(u64, Vec<u64>); 2],
 }
 
-impl AbortableBarrier {
-    fn new(n: usize) -> Self {
-        AbortableBarrier {
-            state: Mutex::new(BarrierState { arrived: 0, generation: 0, aborted: false }),
+impl ExchangeBarrier {
+    fn new(matrix: LookaheadMatrix) -> Self {
+        let n = matrix.shard_count();
+        ExchangeBarrier {
+            state: Mutex::new(ExchangeState {
+                arrived: 0,
+                generation: 0,
+                arrived_sync: 0,
+                generation_sync: 0,
+                aborted: false,
+                rounds: 0,
+                next: [vec![u64::MAX; n], vec![u64::MAX; n]],
+                msg_min: [vec![u64::MAX; n * n], vec![u64::MAX; n * n]],
+                window: [(u64::MAX, vec![u64::MAX; n]), (u64::MAX, vec![u64::MAX; n])],
+            }),
             cv: Condvar::new(),
             n,
+            matrix,
         }
     }
 
-    /// Block until all `n` participants arrive or the barrier is
-    /// aborted, whichever comes first.
-    fn wait(&self) {
-        let mut s = self.state.lock().expect("barrier state poisoned");
+    /// Publish this shard's `(next event, per-destination earliest
+    /// undelivered frame)` and block until every participant has done
+    /// the same; returns the agreed `(w_start, horizon-for-this-shard)`
+    /// or `None` if the barrier was aborted.
+    fn exchange(&self, shard: usize, next: u64, msg_row: &[u64]) -> Option<(u64, u64)> {
+        let mut s = self.state.lock().expect("exchange barrier poisoned");
         if s.aborted {
-            return;
+            return None;
         }
+        let slot = (s.generation % 2) as usize;
+        s.next[slot][shard] = next;
+        s.msg_min[slot][shard * self.n..(shard + 1) * self.n].copy_from_slice(msg_row);
         s.arrived += 1;
         if s.arrived == self.n {
             s.arrived = 0;
+            s.rounds += 1;
+            s.window[slot] = window_horizons(&self.matrix, &s.next[slot], &s.msg_min[slot]);
             s.generation += 1;
             self.cv.notify_all();
-            return;
+            let (w, ref horizons) = s.window[slot];
+            return Some((w, horizons[shard]));
         }
         let generation = s.generation;
         while s.generation == generation && !s.aborted {
-            s = self.cv.wait(s).expect("barrier state poisoned");
+            s = self.cv.wait(s).expect("exchange barrier poisoned");
         }
+        if s.aborted {
+            return None;
+        }
+        let (w, ref horizons) = s.window[slot];
+        Some((w, horizons[shard]))
+    }
+
+    /// A plain data-free rendezvous: block until every participant has
+    /// arrived, carrying no window data. The global-`L` compatibility
+    /// mode calls this once per round to reproduce the PR 4 engine's
+    /// two-barrier round structure (publish barrier + post-flush
+    /// barrier), so E12's matrix-vs-global comparison measures the
+    /// sync cost the fused exchange actually removed. Returns `false`
+    /// if the barrier was aborted.
+    fn rendezvous(&self) -> bool {
+        let mut s = self.state.lock().expect("exchange barrier poisoned");
+        if s.aborted {
+            return false;
+        }
+        s.arrived_sync += 1;
+        if s.arrived_sync == self.n {
+            s.arrived_sync = 0;
+            s.generation_sync += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        let generation = s.generation_sync;
+        while s.generation_sync == generation && !s.aborted {
+            s = self.cv.wait(s).expect("exchange barrier poisoned");
+        }
+        !s.aborted
+    }
+
+    /// Completed exchange rounds so far.
+    fn rounds(&self) -> u64 {
+        self.state.lock().expect("exchange barrier poisoned").rounds
     }
 
     /// Permanently release everyone: current waiters wake now, future
-    /// [`wait`](AbortableBarrier::wait) calls return immediately.
+    /// [`exchange`](ExchangeBarrier::exchange) calls return `None`
+    /// immediately.
     fn abort(&self) {
-        let mut s = self.state.lock().expect("barrier state poisoned");
+        let mut s = self.state.lock().expect("exchange barrier poisoned");
         s.aborted = true;
         self.cv.notify_all();
     }
@@ -571,19 +826,17 @@ impl AbortableBarrier {
 
 /// Shared per-run synchronization state for the worker threads.
 struct WindowSync {
-    /// Two waits per round: after publishing next-event times, and
-    /// after exchanging boundary frames.
-    barrier: AbortableBarrier,
-    /// Per-shard next pending event time (`u64::MAX` = idle), valid
-    /// between the two barrier waits of a round.
-    slots: Vec<AtomicU64>,
+    /// The single per-round synchronization point.
+    barrier: ExchangeBarrier,
     /// Set (before the barrier is aborted) when a worker panicked;
-    /// everyone else returns at their next post-wait check.
+    /// everyone else returns at their next post-exchange check.
     poisoned: AtomicBool,
-    /// Window length in nanoseconds (`u64::MAX` when no link is cut).
-    lookahead: u64,
     /// Run bound (inclusive): no event past it is executed.
     bound: SimTime,
+    /// Global-`L` compatibility: add the PR 4 design's second
+    /// rendezvous per round, so the mode is a faithful wall-clock
+    /// proxy for the engine it replaced (not just its window math).
+    pr4_rendezvous: bool,
 }
 
 /// A partitioned network running its shards on worker threads.
@@ -602,6 +855,13 @@ pub struct ShardedNetwork {
     links: Vec<GlobalLink>,
     /// Minimum cross-shard propagation delay (`None`: nothing is cut).
     lookahead: Option<SimDuration>,
+    /// Per-pair lookahead (collapsed to the global minimum when the
+    /// builder disabled the matrix).
+    matrix: LookaheadMatrix,
+    /// Whether per-pair windows are in use (vs the global-`L` oracle).
+    use_matrix: bool,
+    /// Synchronization rounds (window exchanges) across all runs.
+    sync_rounds: u64,
     now: SimTime,
 }
 
@@ -630,6 +890,33 @@ impl ShardedNetwork {
     /// cross-shard links, or `None` when the partition cuts nothing.
     pub fn lookahead(&self) -> Option<SimDuration> {
         self.lookahead
+    }
+
+    /// The per-pair lookahead from shard `src` to shard `dst`: the
+    /// cheapest cut link that can carry a frame between them, or
+    /// `None` when no cut joins the pair (`src` never bounds `dst`).
+    /// With [`ShardedBuilder::use_lookahead_matrix`] off, every
+    /// connected pair reports the global minimum.
+    pub fn lookahead_between(&self, src: usize, dst: usize) -> Option<SimDuration> {
+        match self.matrix.between(src, dst) {
+            u64::MAX => None,
+            ns => Some(SimDuration::nanos(ns)),
+        }
+    }
+
+    /// Whether the per-pair lookahead matrix is in use (`false`: the
+    /// global-`L` oracle window computation).
+    pub fn uses_lookahead_matrix(&self) -> bool {
+        self.use_matrix
+    }
+
+    /// Total synchronization rounds (one window exchange each) the run
+    /// loops have performed, across all [`ShardedNetwork::run_until`] /
+    /// [`ShardedNetwork::run_until_idle`] calls. The E12 scale
+    /// experiment reports this per simulated millisecond — the direct
+    /// measure of how often the workers had to meet.
+    pub fn sync_rounds(&self) -> u64 {
+        self.sync_rounds
     }
 
     /// Which shard `node` lives in.
@@ -851,47 +1138,117 @@ impl ShardedNetwork {
         }
         let nshards = self.shards.len();
         let sync = WindowSync {
-            barrier: AbortableBarrier::new(nshards),
-            slots: (0..nshards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            barrier: ExchangeBarrier::new(self.matrix.clone()),
             poisoned: AtomicBool::new(false),
-            lookahead: self.lookahead.map_or(u64::MAX, |l| l.as_nanos()),
             bound,
+            pr4_rendezvous: !self.use_matrix,
         };
-        // Bounded frame-exchange channels, one per destination shard.
-        // Capacity 2·N can never block: a sender enqueues at most one
-        // batch per destination per round and every receiver drains its
-        // channel at the start of the next round.
+        // Bounded frame-exchange channels, one per destination shard,
+        // sized from the window protocol and the partition's cut-link
+        // fan-in: a sender places at most one coalesced batch per
+        // destination per round, a batch lingers at most two rounds
+        // before the receiver has provably drained it (the `2·N`
+        // term), and one extra slot per incoming cut direction absorbs
+        // the exit flush on high-cut-degree fabrics (k=16's core
+        // shards). Capacity is a performance knob, not a correctness
+        // bound — a full channel leaves the batch pending on the
+        // sender, covered by its published `msg_min` row, which the
+        // capacity-1 regression test pins.
+        let override_cap = CHANNEL_CAPACITY_OVERRIDE.load(Ordering::Relaxed);
+        let caps: Vec<usize> = (0..nshards)
+            .map(|d| {
+                if override_cap > 0 {
+                    return override_cap;
+                }
+                let cut_in = self
+                    .links
+                    .iter()
+                    .filter(|l| {
+                        matches!(l.home, LinkHome::Cross { .. })
+                            && (self.assignment[l.a.node.0] == d
+                                || self.assignment[l.b.node.0] == d)
+                    })
+                    .count();
+                2 * nshards + cut_in
+            })
+            .collect();
         let (txs, rxs): (Vec<BatchSender>, Vec<BatchReceiver>) =
-            (0..nshards).map(|_| sync_channel(2 * nshards)).unzip();
+            caps.iter().map(|&c| sync_channel(c)).unzip();
+        let mut leftovers: Vec<RemoteMsg> = Vec::new();
         std::thread::scope(|scope| {
+            let mut handles = Vec::new();
             for ((i, shard), rx) in self.shards.iter_mut().enumerate().zip(rxs) {
                 let txs = txs.clone();
                 let sync = &sync;
-                scope.spawn(move || shard_worker(i, shard, rx, txs, sync));
+                handles.push(scope.spawn(move || shard_worker(i, shard, rx, txs, sync)));
+            }
+            // Join everything before propagating any panic, so sibling
+            // workers have all observed the abort.
+            let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            for r in results {
+                match r {
+                    Ok(left) => leftovers.extend(left),
+                    Err(panic) => resume_unwind(panic),
+                }
             }
         });
+        self.sync_rounds += sync.barrier.rounds();
+        // Boundary frames a full channel kept pending at exit (their
+        // delivery times are past `bound`, or the run would not have
+        // ended): inject them directly, in the canonical order, so a
+        // later run picks them up exactly where a roomier channel
+        // would have.
+        leftovers.sort_unstable_by_key(RemoteMsg::order_key);
+        for msg in leftovers {
+            let frame = EthernetFrame::parse_bytes(&msg.bytes)
+                .expect("cross-shard frame bytes must re-parse");
+            let shard = &mut self.shards[msg.dst_shard];
+            shard.cross_in += 1;
+            shard.net.inject_at(msg.time, msg.node, msg.port, frame);
+        }
     }
 }
 
 /// One worker thread's life: rounds of (drain inbox → agree on a
-/// window → execute it → exchange boundary frames) until the global
-/// next event passes the bound. Panics from device code poison the
-/// sync state and abort the barrier so sibling workers exit instead
-/// of deadlocking, then propagate.
+/// window at the single exchange barrier → execute it → flush boundary
+/// frames) until the global floor passes the bound. Returns the
+/// boundary frames a full channel kept pending at exit (the caller
+/// injects them directly). Panics from device code poison the sync
+/// state and abort the barrier so sibling workers exit instead of
+/// deadlocking, then propagate.
 fn shard_worker(
     i: usize,
     shard: &mut Shard,
     rx: BatchReceiver,
     txs: Vec<BatchSender>,
     sync: &WindowSync,
-) {
+) -> Vec<RemoteMsg> {
     let result = catch_unwind(AssertUnwindSafe(|| worker_rounds(i, shard, &rx, &txs, sync)));
-    if let Err(panic) = result {
-        // Order matters: siblings released by the abort must observe
-        // the flag at their post-wait check.
-        sync.poisoned.store(true, Ordering::SeqCst);
-        sync.barrier.abort();
-        resume_unwind(panic);
+    match result {
+        Ok(leftover) => leftover,
+        Err(panic) => {
+            // Order matters: siblings released by the abort must
+            // observe the flag at their post-exchange check.
+            sync.poisoned.store(true, Ordering::SeqCst);
+            sync.barrier.abort();
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// Ingest everything other shards have sent so far, in the canonical
+/// deterministic order.
+fn drain_inbox(shard: &mut Shard, rx: &BatchReceiver) {
+    let mut inbox: Vec<RemoteMsg> = rx.try_iter().flatten().collect();
+    if inbox.is_empty() {
+        return;
+    }
+    inbox.sort_unstable_by_key(RemoteMsg::order_key);
+    shard.cross_in += inbox.len() as u64;
+    for msg in inbox {
+        let frame =
+            EthernetFrame::parse_bytes(&msg.bytes).expect("cross-shard frame bytes must re-parse");
+        shard.net.inject_at(msg.time, msg.node, msg.port, frame);
     }
 }
 
@@ -901,89 +1258,100 @@ fn worker_rounds(
     rx: &BatchReceiver,
     txs: &[BatchSender],
     sync: &WindowSync,
-) {
+) -> Vec<RemoteMsg> {
+    let nshards = txs.len();
+    // Boundary frames try_send could not place (channel briefly full),
+    // carried per destination and retried every flush. Always covered
+    // by the published `msg_min` row, so no horizon can run past them.
+    let mut pending: Vec<Vec<RemoteMsg>> = (0..nshards).map(|_| Vec::new()).collect();
+    // Earliest frame placed into each destination's channel at the
+    // last flush: the receiver may not have drained it when it
+    // publishes its own next-event time this round, so it stays
+    // covered for exactly one exchange.
+    let mut sent_min: Vec<u64> = vec![u64::MAX; nshards];
+    let mut msg_row: Vec<u64> = vec![u64::MAX; nshards];
     loop {
-        // Phase 1: ingest everything other shards sent last round, in
-        // the canonical deterministic order.
-        let mut inbox: Vec<RemoteMsg> = rx.try_iter().flatten().collect();
-        inbox.sort_unstable_by_key(RemoteMsg::order_key);
-        shard.cross_in += inbox.len() as u64;
-        for msg in inbox {
-            let frame = EthernetFrame::parse_bytes(&msg.bytes)
-                .expect("cross-shard frame bytes must re-parse");
-            shard.net.inject_at(msg.time, msg.node, msg.port, frame);
-        }
+        // Phase 1: ingest. Everything peers flushed before the
+        // previous exchange is visible; frames flushed after it are
+        // covered by their sender's msg_min row this round and
+        // ingested next round.
+        drain_inbox(shard, rx);
 
-        // Phase 2: agree on the window. The barrier orders the stores
-        // before every load, so Relaxed suffices.
+        // Phase 2: one exchange agrees on the window floor and this
+        // shard's horizon (the last arriver runs `window_horizons`
+        // over the full matrix once).
         let next = shard.net.next_event_time().map_or(u64::MAX, |t| t.0);
-        sync.slots[i].store(next, Ordering::Relaxed);
-        sync.barrier.wait();
-        if sync.poisoned.load(Ordering::SeqCst) {
-            return;
+        for (d, row) in msg_row.iter_mut().enumerate() {
+            let pend = pending[d].iter().map(|m| m.time.0).min().unwrap_or(u64::MAX);
+            *row = sent_min[d].min(pend);
         }
-        let w_start =
-            sync.slots.iter().map(|s| s.load(Ordering::Relaxed)).min().expect("no shards");
+        let Some((w_start, horizon)) = sync.barrier.exchange(i, next, &msg_row) else {
+            return Vec::new(); // aborted: a sibling is propagating a panic
+        };
+        if sync.poisoned.load(Ordering::SeqCst) {
+            return Vec::new();
+        }
         if w_start == u64::MAX || w_start > sync.bound.0 {
-            // Identical inputs at every worker: all exit this round.
-            return;
+            // Identical snapshot at every worker: all exit this round.
+            // Every peer has passed the exchange, so every flush is
+            // visible — one final drain empties the channels, and any
+            // frames still pending on this side (delivery past the
+            // bound, or the floor would not have passed it) go back to
+            // the caller for direct injection.
+            drain_inbox(shard, rx);
+            return pending.into_iter().flatten().collect();
         }
 
-        // Phase 3: execute up to this shard's *horizon* — the earliest
-        // instant anything can still arrive from outside. A neighbour
-        // T cannot emit before it executes an event, and its earliest
-        // executable event is either its own next one or a reaction to
-        // the global-minimum shard's first message (which lands no
-        // sooner than w_start + L). Emission adds another lookahead:
+        // Phase 3: execute up to the horizon — the earliest instant
+        // anything can still arrive from outside (see
+        // `window_horizons` for the per-pair CMB argument).
         //
-        //   horizon = min(min_other, w_start + L) + L
-        //
-        // This is the CMB safe-time fixed point collapsed to the
-        // global lookahead: the shard holding the global minimum gets
-        // to run [w_start, w_start + 2L) while everyone else is
-        // bounded by w_start + L — own events never bound a shard, but
-        // a neighbour bouncing our own frame straight back does.
-        let min_other = sync
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, s)| s.load(Ordering::Relaxed))
-            .min()
-            .expect("at least two shards in the window protocol");
-        let horizon =
-            min_other.min(w_start.saturating_add(sync.lookahead)).saturating_add(sync.lookahead);
         // Test-only fault injection: difftest's self-check widens the
         // horizon past what CMB permits to prove the harness catches
         // unsound lookahead. Always zero in production.
         let widen = UNSOUND_HORIZON_WIDEN_NS.load(Ordering::Relaxed);
         let horizon = horizon.saturating_add(widen);
-        let run_bound = SimTime((horizon - 1).min(sync.bound.0));
+        let run_bound = SimTime(horizon.saturating_sub(1).min(sync.bound.0));
         while shard.net.step_batch(run_bound) {}
 
-        // Phase 4: hand this window's boundary frames to their shards.
+        // Phase 4: flush this window's boundary frames, coalesced into
+        // one batch per destination (retried pending frames first, in
+        // emission order). try_send never blocks: a full channel — the
+        // receiver is lagging — leaves the batch pending, and the
+        // msg_min row published next round keeps every horizon below
+        // its earliest frame.
         let outgoing = std::mem::take(&mut *shard.outbox.lock().expect("outbox poisoned"));
-        if !outgoing.is_empty() {
-            let mut batches: Vec<Vec<RemoteMsg>> = (0..txs.len()).map(|_| Vec::new()).collect();
-            for msg in outgoing {
-                debug_assert!(
-                    msg.time.0 >= next.saturating_add(sync.lookahead),
-                    "boundary frame at t={} violates the lookahead promise {} + {}",
-                    msg.time.0,
-                    next,
-                    sync.lookahead
-                );
-                batches[msg.dst_shard].push(msg);
+        for msg in outgoing {
+            debug_assert!(
+                msg.time.0 >= w_start.saturating_add(sync.barrier.matrix.between(i, msg.dst_shard)),
+                "boundary frame at t={} violates the lookahead promise {} + {}",
+                msg.time.0,
+                w_start,
+                sync.barrier.matrix.between(i, msg.dst_shard)
+            );
+            pending[msg.dst_shard].push(msg);
+        }
+        for (dst, batch) in pending.iter_mut().enumerate() {
+            sent_min[dst] = u64::MAX;
+            if batch.is_empty() {
+                continue;
             }
-            for (dst, batch) in batches.into_iter().enumerate() {
-                if !batch.is_empty() {
-                    txs[dst].send(batch).expect("shard exchange channel closed");
+            let earliest = batch.iter().map(|m| m.time.0).min().unwrap_or(u64::MAX);
+            match txs[dst].try_send(std::mem::take(batch)) {
+                Ok(()) => sent_min[dst] = earliest,
+                Err(TrySendError::Full(returned)) => *batch = returned,
+                Err(TrySendError::Disconnected(_)) => {
+                    unreachable!("shard exchange channel closed mid-run")
                 }
             }
         }
-        sync.barrier.wait();
-        if sync.poisoned.load(Ordering::SeqCst) {
-            return;
+
+        // PR 4 compatibility: the replaced engine separated the flush
+        // from the next round's publish with a second barrier. The
+        // exit decision above is uniform across workers, so either
+        // every shard reaches this rendezvous or none does.
+        if sync.pr4_rendezvous && !sync.barrier.rendezvous() {
+            return Vec::new();
         }
     }
 }
@@ -996,46 +1364,229 @@ mod tests {
     use arppath_wire::{ArpPacket, MacAddr};
     use std::net::Ipv4Addr;
 
+    /// A 3-shard matrix where every pair is connected at 1 µs — the
+    /// uniform fixture the barrier tests run on.
+    fn uniform_matrix(n: usize) -> LookaheadMatrix {
+        let mut m = LookaheadMatrix::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                m.observe_cut(a, b, 1_000);
+            }
+        }
+        m
+    }
+
     #[test]
-    fn abortable_barrier_cycles_generations() {
-        let barrier = Arc::new(AbortableBarrier::new(3));
+    fn exchange_barrier_cycles_generations_and_agrees_on_windows() {
+        let barrier = Arc::new(ExchangeBarrier::new(uniform_matrix(3)));
         let counter = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::new();
-        for _ in 0..3 {
+        for shard in 0..3usize {
             let barrier = Arc::clone(&barrier);
             let counter = Arc::clone(&counter);
             handles.push(std::thread::spawn(move || {
-                for round in 0..10 {
+                let row = [u64::MAX; 3];
+                for round in 0..10u64 {
                     counter.fetch_add(1, Ordering::SeqCst);
-                    barrier.wait();
-                    // Everyone passed this round's barrier, so every
-                    // pre-barrier increment must be visible.
+                    // Shard `s` publishes next event at `100·round + s`:
+                    // every participant must agree the floor is shard
+                    // 0's time, and horizons derive from the same
+                    // snapshot no matter who computes them.
+                    let next = 100 * round + shard as u64;
+                    let (w, h) = barrier.exchange(shard, next, &row).expect("barrier not aborted");
+                    assert_eq!(w, 100 * round, "round {round} floor");
+                    assert!(h > w, "horizon past the floor");
+                    // Everyone passed this round's exchange, so every
+                    // pre-exchange increment must be visible.
                     assert!(counter.load(Ordering::SeqCst) >= 3 * (round + 1));
-                    barrier.wait();
                 }
             }));
         }
         for h in handles {
-            h.join().expect("barrier worker panicked");
+            h.join().expect("exchange worker panicked");
         }
         assert_eq!(counter.load(Ordering::SeqCst), 30);
+        assert_eq!(barrier.rounds(), 10);
     }
 
     #[test]
-    fn abortable_barrier_abort_releases_current_and_future_waiters() {
+    fn exchange_barrier_abort_releases_current_and_future_waiters() {
         // One waiter blocks (the barrier wants 2 arrivals); abort from
-        // the main thread must release it, and a later wait must
-        // return immediately. A deadlock here fails via test timeout.
-        let barrier = Arc::new(AbortableBarrier::new(2));
+        // the main thread must release it, and a later exchange must
+        // return None immediately. A deadlock here fails via timeout.
+        let barrier = Arc::new(ExchangeBarrier::new(uniform_matrix(2)));
         let stuck = {
             let barrier = Arc::clone(&barrier);
-            std::thread::spawn(move || barrier.wait())
+            std::thread::spawn(move || barrier.exchange(0, 7, &[u64::MAX; 2]))
         };
         // Give the waiter a moment to actually block before aborting.
         std::thread::sleep(std::time::Duration::from_millis(20));
         barrier.abort();
-        stuck.join().expect("aborted waiter panicked");
-        barrier.wait(); // future waits return immediately once aborted
+        assert_eq!(stuck.join().expect("aborted waiter panicked"), None);
+        assert_eq!(barrier.exchange(1, 7, &[u64::MAX; 2]), None);
+    }
+
+    /// Deterministic xorshift for the horizon property sweep.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn per_pair_horizons_never_undercut_the_global_oracle() {
+        // The satellite property: for any reachable topology and any
+        // exchanged state, the per-pair horizon is >= the collapsed
+        // global-L horizon (the matrix is never *less* parallel), and
+        // both share the same window floor. Sweep random sparse
+        // matrices and random next/msg_min snapshots.
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
+        for case in 0..500 {
+            let n = 2 + (xorshift(&mut state) % 7) as usize;
+            let mut m = LookaheadMatrix::new(n);
+            let mut cuts = 0;
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if !xorshift(&mut state).is_multiple_of(3) {
+                        m.observe_cut(a, b, 1 + xorshift(&mut state) % 50_000);
+                        cuts += 1;
+                    }
+                }
+            }
+            if cuts == 0 {
+                m.observe_cut(0, 1, 1 + xorshift(&mut state) % 50_000);
+            }
+            let mut oracle = m.clone();
+            oracle.collapse_to_global();
+            let next: Vec<u64> = (0..n)
+                .map(|_| match xorshift(&mut state) % 4 {
+                    0 => u64::MAX,
+                    _ => xorshift(&mut state) % 1_000_000,
+                })
+                .collect();
+            let msg_min: Vec<u64> = (0..n * n)
+                .map(|_| match xorshift(&mut state) % 5 {
+                    0 => xorshift(&mut state) % 1_000_000,
+                    _ => u64::MAX,
+                })
+                .collect();
+            let (w_pair, pair) = window_horizons(&m, &next, &msg_min);
+            let (w_global, global) = window_horizons(&oracle, &next, &msg_min);
+            assert_eq!(w_pair, w_global, "case {case}: floors must agree");
+            for i in 0..n {
+                assert!(
+                    pair[i] >= global[i],
+                    "case {case}: shard {i} per-pair horizon {} undercuts global {}",
+                    pair[i],
+                    global[i]
+                );
+                // Soundness floor for both: nothing may run past an
+                // undelivered frame bound for it.
+                let inbound = (0..n).map(|s| msg_min[s * n + i]).min().unwrap_or(u64::MAX);
+                assert!(pair[i] <= inbound, "case {case}: horizon past an inbound frame");
+                assert!(global[i] <= inbound, "case {case}: oracle past an inbound frame");
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_matrix_reproduces_the_pr4_window_formula() {
+        // With every pair at the global L and no in-flight frames, the
+        // horizon must equal min(min_other, w + L) + L exactly.
+        let mut m = uniform_matrix(3);
+        m.collapse_to_global();
+        let next = [100u64, 450, 7_000];
+        let msg_min = [u64::MAX; 9];
+        let (w, h) = window_horizons(&m, &next, &msg_min);
+        assert_eq!(w, 100);
+        let l = 1_000u64;
+        for (i, &h_i) in h.iter().enumerate() {
+            let min_other = (0..3).filter(|&j| j != i).map(|j| next[j]).min().unwrap();
+            assert_eq!(h_i, min_other.min(w + l) + l, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_do_not_bound_the_horizon() {
+        // Chain 0—1—2 (no 0↔2 cut): shard 2's horizon ignores shard
+        // 0's early event except through the two-hop relay bound, so
+        // it strictly exceeds the collapsed oracle's.
+        let mut m = LookaheadMatrix::new(3);
+        m.observe_cut(0, 1, 1_000);
+        m.observe_cut(1, 2, 30_000);
+        let next = [0u64, 500_000, 600_000];
+        let msg_min = [u64::MAX; 9];
+        let (w, h) = window_horizons(&m, &next, &msg_min);
+        assert_eq!(w, 0);
+        // Shard 2 is bounded only by shard 1 emitting toward it:
+        // shard 1 acts no earlier than min(next[1], w + in(1)) = 1000,
+        // plus the 30 µs pair lookahead.
+        assert_eq!(h[2], 1_000 + 30_000);
+        let mut oracle = m.clone();
+        oracle.collapse_to_global();
+        let (_, g) = window_horizons(&oracle, &next, &msg_min);
+        // min(min_other, w + L) + L with min_other = next[0] = 0.
+        assert_eq!(g[2], 1_000, "oracle collapses everything to 1 µs");
+        assert!(h[2] > g[2]);
+    }
+
+    #[test]
+    fn tiny_exchange_channels_cannot_stall_or_diverge() {
+        // The PR 10 backpressure regression: with every exchange
+        // channel forced to a single slot, two shards flushing into
+        // the same destination in one round must take the pending
+        // carry-over path (the second try_send finds the channel
+        // full). The run must still complete — no deadlock between a
+        // full channel and the exchange barrier — and deliver the
+        // identical trace.
+        struct Salvo {
+            name: String,
+            left: u32,
+        }
+        impl Device for Salvo {
+            fn name(&self) -> &str {
+                &self.name
+            }
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.schedule(SimDuration::micros(1), TimerToken(0));
+            }
+            fn on_timer(&mut self, _: TimerToken, ctx: &mut Ctx) {
+                ctx.send(PortNo(0), test_frame());
+                self.left -= 1;
+                if self.left > 0 {
+                    ctx.schedule(SimDuration::micros(5), TimerToken(0));
+                }
+            }
+            fn on_frame(&mut self, _: PortNo, _: EthernetFrame, _: &mut Ctx) {}
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let build = |shards: usize| {
+            let mut b = ShardedBuilder::new(shards);
+            b.record_delivery_trace(true);
+            let s1 = b.add(Box::new(Salvo { name: "s1".into(), left: 20 }));
+            let rx = b.add(Box::new(Probe::new("rx", 64)));
+            let s2 = b.add(Box::new(Salvo { name: "s2".into(), left: 20 }));
+            b.link(s1, 0, rx, 0, LinkParams::gigabit(SimDuration::micros(2)));
+            b.link(s2, 0, rx, 1, LinkParams::gigabit(SimDuration::micros(3)));
+            let assignment: Vec<usize> = (0..3).map(|n| n % shards).collect();
+            let mut net = b.build(&assignment);
+            net.run_until_idle(SimTime(u64::MAX));
+            net.delivery_trace()
+        };
+        let reference = build(1);
+        assert!(reference.len() >= 40, "both salvos must land: {}", reference.len());
+        set_channel_capacity_override(1);
+        let tiny = build(3);
+        set_channel_capacity_override(0);
+        assert_eq!(tiny, reference, "capacity-1 channels changed the trace");
+        let roomy = build(3);
+        assert_eq!(roomy, reference, "derived-capacity channels changed the trace");
     }
 
     #[test]

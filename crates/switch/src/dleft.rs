@@ -8,9 +8,16 @@
 //! reference implementation:
 //!
 //! * **d = [`WAYS`] ways**, each a flat array of buckets holding
-//!   [`SLOTS_PER_BUCKET`] slots of `(key, Aged<value>)` — no per-entry
-//!   heap allocation, no pointer chasing; a lookup touches at most
-//!   `WAYS × SLOTS_PER_BUCKET` slots in `WAYS` cache lines.
+//!   [`SLOTS_PER_BUCKET`] slots — no per-entry heap allocation, no
+//!   pointer chasing. Since PR 10 the slots are stored
+//!   **struct-of-arrays**: the key plane (which doubles as the
+//!   occupancy map), expiry plane, birth plane, and value plane are
+//!   separate flat arrays indexed by the same flat slot index. A probe
+//!   walks only the key plane — one cache line per way even when `V`
+//!   is fat — and touches the expiry plane for the single matched
+//!   slot; values are read only on a hit.
+//!   [`heap_bytes`](DLeftTable::heap_bytes) reports the resulting footprint so
+//!   bytes-per-station is a measured number, not a guess.
 //! * **Multiply-shift hashing**: each way reduces a mixed 64-bit key
 //!   fingerprint with its own odd multiplier; insertion takes the
 //!   least-loaded candidate bucket (leftmost way on ties), the classic
@@ -193,25 +200,26 @@ impl TableStats {
     }
 }
 
-/// One occupied slot.
-#[derive(Debug, Clone, Copy)]
-struct Slot<K, V> {
-    key: K,
-    aged: Aged<V>,
-    /// Instant of the insert that created (or re-keyed) this slot's
-    /// current entry — the baseline for the eviction-victim age
-    /// histogram. Touches extend `aged.expires` but not `born`.
-    born: SimTime,
-}
-
 /// The fixed-geometry aging hash table. See the module docs for the
-/// hardware mapping and the eviction policy.
+/// hardware mapping, the SoA plane layout, and the eviction policy.
 #[derive(Debug, Clone)]
 pub struct DLeftTable<K: DLeftKey, V> {
     /// log2 of buckets per way.
     bucket_bits: u32,
-    /// Flat slot array: way-major, then bucket, then slot.
-    slots: Vec<Option<Slot<K, V>>>,
+    /// SoA key plane, way-major then bucket then slot; `Some` iff the
+    /// slot is occupied (the plane doubles as the occupancy map, so a
+    /// probe never leaves it until a key matches).
+    keys: Vec<Option<K>>,
+    /// SoA expiry plane; meaningful only while the slot is occupied.
+    expires: Vec<SimTime>,
+    /// SoA birth plane: instant of the insert that created (or
+    /// re-keyed) the slot's current entry — the baseline for the
+    /// eviction-victim age histogram. Touches extend the expiry plane
+    /// but not this one.
+    born: Vec<SimTime>,
+    /// SoA value plane; `Some` exactly where the key plane is. Off the
+    /// probe path — read only after a key-plane hit.
+    values: Vec<Option<V>>,
     /// Per-slot generation stamps; bumped on every vacate so stale
     /// wheel entries fail revalidation.
     gens: Vec<u32>,
@@ -251,7 +259,10 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
         let total = (WAYS * SLOTS_PER_BUCKET) << bucket_bits;
         DLeftTable {
             bucket_bits,
-            slots: (0..total).map(|_| None).collect(),
+            keys: vec![None; total],
+            expires: vec![SimTime::ZERO; total],
+            born: vec![SimTime::ZERO; total],
+            values: (0..total).map(|_| None).collect(),
             gens: vec![0; total],
             len: 0,
             wheel: TimerWheel::default(),
@@ -264,7 +275,39 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
 
     /// Total physical slot count of the fixed geometry.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.keys.len()
+    }
+
+    /// Heap footprint of the table in bytes: every SoA plane, the
+    /// generation stamps, the timer wheel, and the reused delivery
+    /// buffer. Geometry dominates — the planes are allocated in full
+    /// at construction — so dividing by the station count gives the
+    /// bytes-per-station figure experiment E12 reports.
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<Option<K>>()
+            + self.expires.capacity() * std::mem::size_of::<SimTime>()
+            + self.born.capacity() * std::mem::size_of::<SimTime>()
+            + self.values.capacity() * std::mem::size_of::<Option<V>>()
+            + self.gens.capacity() * std::mem::size_of::<u32>()
+            + self.wheel.heap_bytes()
+            + self.due.capacity() * std::mem::size_of::<TimerEntry>()
+    }
+
+    /// What the pre-PR-10 array-of-structs layout
+    /// (`Vec<Option<(K, Aged<V>, SimTime)>>` slots + stamps + wheel)
+    /// would spend on the same geometry — the yardstick the SoA
+    /// footprint is gated against in CI.
+    pub fn heap_bytes_aos_equivalent(&self) -> usize {
+        #[allow(dead_code)]
+        struct AosSlot<K, V> {
+            key: K,
+            aged: Aged<V>,
+            born: SimTime,
+        }
+        self.keys.len() * std::mem::size_of::<Option<AosSlot<K, V>>>()
+            + self.gens.capacity() * std::mem::size_of::<u32>()
+            + self.wheel.heap_bytes()
+            + self.due.capacity() * std::mem::size_of::<TimerEntry>()
     }
 
     /// Bucket-overflow evictions since construction (see the module
@@ -307,27 +350,34 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
         ((u128::from(h) * (1u128 << self.bucket_bits)) >> 64) as usize
     }
 
-    /// Flat index of the slot holding `key`, if any.
+    /// Flat index of the slot holding `key`, if any. Walks the key
+    /// plane only — the whole point of the SoA layout.
     #[inline]
     fn find(&self, key: &K) -> Option<usize> {
         let fp = mix64(key.fingerprint());
         for way in 0..WAYS {
             let base = self.bucket_base(way, self.way_bucket(fp, way));
             for idx in base..base + SLOTS_PER_BUCKET {
-                if let Some(slot) = &self.slots[idx] {
-                    if slot.key == *key {
-                        return Some(idx);
-                    }
+                if self.keys[idx] == Some(*key) {
+                    return Some(idx);
                 }
             }
         }
         None
     }
 
+    /// Liveness of the (occupied) slot at `idx`, routed through the
+    /// shared [`Aged::is_live`] boundary predicate.
+    #[inline]
+    fn slot_live(&self, idx: usize, now: SimTime) -> bool {
+        Aged { value: (), expires: self.expires[idx] }.is_live(now)
+    }
+
     /// Empty the slot and strand its wheel entries.
     fn vacate(&mut self, idx: usize) {
-        debug_assert!(self.slots[idx].is_some());
-        self.slots[idx] = None;
+        debug_assert!(self.keys[idx].is_some());
+        self.keys[idx] = None;
+        self.values[idx] = None;
         self.gens[idx] = self.gens[idx].wrapping_add(1);
         self.len -= 1;
     }
@@ -354,12 +404,13 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
             if self.gens[idx] != entry.gen {
                 continue; // vacated or re-keyed since filing
             }
-            let Some(slot) = &self.slots[idx] else { continue };
-            if slot.aged.is_live(now) {
+            if self.keys[idx].is_none() {
+                continue;
+            }
+            if self.slot_live(idx, now) {
                 // Deadline was extended after filing: re-file at the
                 // live expiry.
-                let expires = slot.aged.expires;
-                self.wheel.insert(expires, entry.slot, entry.gen);
+                self.wheel.insert(self.expires[idx], entry.slot, entry.gen);
             } else {
                 self.vacate(idx);
                 removed += 1;
@@ -383,7 +434,9 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
         let watermark = self.observed_now;
         self.scrub(watermark);
         if let Some(idx) = self.find(&key) {
-            self.slots[idx] = Some(Slot { key, aged: Aged { value, expires }, born: watermark });
+            self.values[idx] = Some(value);
+            self.expires[idx] = expires;
+            self.born[idx] = watermark;
             self.wheel.insert(expires, idx as u32, self.gens[idx]);
             return None;
         }
@@ -396,7 +449,7 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
             let mut load = 0;
             let mut free = None;
             for idx in base..base + SLOTS_PER_BUCKET {
-                if self.slots[idx].is_some() {
+                if self.keys[idx].is_some() {
                     load += 1;
                 } else if free.is_none() {
                     free = Some(idx);
@@ -422,25 +475,31 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
                 for way in 0..WAYS {
                     let base = self.bucket_base(way, self.way_bucket(fp, way));
                     for idx in base..base + SLOTS_PER_BUCKET {
-                        let slot = self.slots[idx].as_ref().expect("overflow bucket has hole");
-                        if slot.aged.expires < victim_expires {
-                            victim_expires = slot.aged.expires;
+                        debug_assert!(self.keys[idx].is_some(), "overflow bucket has hole");
+                        if self.expires[idx] < victim_expires {
+                            victim_expires = self.expires[idx];
                             victim = idx;
                         }
                     }
                 }
                 self.evictions += 1;
-                let old = self.slots[victim].take().expect("victim vanished");
-                let age = watermark.as_nanos().saturating_sub(old.born.as_nanos());
+                let old_key = self.keys[victim].take().expect("victim vanished");
+                let old_value = self.values[victim].take().expect("victim value vanished");
+                let age = watermark.as_nanos().saturating_sub(self.born[victim].as_nanos());
                 self.stats.victim_age_histogram[TableStats::age_bucket(age)] += 1;
                 self.gens[victim] = self.gens[victim].wrapping_add(1);
-                self.slots[victim] =
-                    Some(Slot { key, aged: Aged { value, expires }, born: watermark });
+                self.keys[victim] = Some(key);
+                self.values[victim] = Some(value);
+                self.expires[victim] = expires;
+                self.born[victim] = watermark;
                 self.wheel.insert(expires, victim as u32, self.gens[victim]);
-                return Some((old.key, old.aged.value));
+                return Some((old_key, old_value));
             }
         };
-        self.slots[idx] = Some(Slot { key, aged: Aged { value, expires }, born: watermark });
+        self.keys[idx] = Some(key);
+        self.values[idx] = Some(value);
+        self.expires[idx] = expires;
+        self.born[idx] = watermark;
         self.wheel.insert(expires, idx as u32, self.gens[idx]);
         self.stats.occupancy_high_water = self.stats.occupancy_high_water.max(self.len);
         None
@@ -452,35 +511,42 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
     pub fn get(&mut self, key: &K, now: SimTime) -> Option<&V> {
         self.observe(now);
         let idx = self.find(key)?;
-        let live = self.slots[idx].as_ref().expect("find returned empty slot").aged.is_live(now);
-        if !live {
+        if !self.slot_live(idx, now) {
             self.vacate(idx);
             return None;
         }
-        self.slots[idx].as_ref().map(|s| &s.aged.value)
+        self.values[idx].as_ref()
     }
 
     /// Mutable live value for `key` at `now`.
     pub fn get_mut(&mut self, key: &K, now: SimTime) -> Option<&mut V> {
         self.observe(now);
         let idx = self.find(key)?;
-        let live = self.slots[idx].as_ref().expect("find returned empty slot").aged.is_live(now);
-        if !live {
+        if !self.slot_live(idx, now) {
             self.vacate(idx);
             return None;
         }
-        self.slots[idx].as_mut().map(|s| &mut s.aged.value)
+        self.values[idx].as_mut()
     }
 
     /// Peek without removing expired entries (read-only inspection).
     pub fn peek(&self, key: &K, now: SimTime) -> Option<&V> {
-        self.peek_aged(key, now).map(|a| &a.value)
+        let idx = self.find(key)?;
+        if !self.slot_live(idx, now) {
+            return None;
+        }
+        self.values[idx].as_ref()
     }
 
-    /// The full aged entry (value + expiry), live at `now`.
-    pub fn peek_aged(&self, key: &K, now: SimTime) -> Option<&Aged<V>> {
+    /// The full aged entry (value reference + expiry), live at `now`.
+    /// (Returns `Aged<&V>` rather than `&Aged<V>`: the SoA layout has
+    /// no contiguous `Aged` to borrow.)
+    pub fn peek_aged(&self, key: &K, now: SimTime) -> Option<Aged<&V>> {
         let idx = self.find(key)?;
-        self.slots[idx].as_ref().map(|s| &s.aged).filter(|a| a.is_live(now))
+        if !self.slot_live(idx, now) {
+            return None;
+        }
+        self.values[idx].as_ref().map(|v| Aged { value: v, expires: self.expires[idx] })
     }
 
     /// Extend the expiry of `key` to `expires` if present and live;
@@ -490,9 +556,8 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
     pub fn touch(&mut self, key: &K, expires: SimTime, now: SimTime) -> bool {
         self.observe(now);
         let Some(idx) = self.find(key) else { return false };
-        let slot = self.slots[idx].as_mut().expect("find returned empty slot");
-        if slot.aged.is_live(now) {
-            slot.aged.expires = slot.aged.expires.max(expires);
+        if self.slot_live(idx, now) {
+            self.expires[idx] = self.expires[idx].max(expires);
             true
         } else {
             self.vacate(idx);
@@ -504,10 +569,11 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
     /// not).
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let idx = self.find(key)?;
-        let slot = self.slots[idx].take().expect("find returned empty slot");
+        self.keys[idx] = None;
+        let value = self.values[idx].take().expect("find returned empty slot");
         self.gens[idx] = self.gens[idx].wrapping_add(1);
         self.len -= 1;
-        Some(slot.aged.value)
+        Some(value)
     }
 
     /// Drop every entry for which `pred` fails (live ones included) —
@@ -515,9 +581,10 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
     /// slots in physical slot order, not key order (divergence from the
     /// oracle; observable only through `pred`'s side effects).
     pub fn retain<F: FnMut(&K, &V) -> bool>(&mut self, mut pred: F) {
-        for idx in 0..self.slots.len() {
-            if let Some(slot) = &self.slots[idx] {
-                if !pred(&slot.key, &slot.aged.value) {
+        for idx in 0..self.keys.len() {
+            if let Some(key) = self.keys[idx] {
+                let value = self.values[idx].as_ref().expect("occupied slot lost its value");
+                if !pred(&key, value) {
                     self.vacate(idx);
                 }
             }
@@ -533,8 +600,8 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
 
     /// Remove everything. The geometry (and slot generations) survive.
     pub fn clear(&mut self) {
-        for idx in 0..self.slots.len() {
-            if self.slots[idx].is_some() {
+        for idx in 0..self.keys.len() {
+            if self.keys[idx].is_some() {
                 self.vacate(idx);
             }
         }
@@ -544,12 +611,14 @@ impl<K: DLeftKey, V> DLeftTable<K, V> {
     /// Iterate live entries at `now`, in key order (collected and
     /// sorted — reporting path, not the hot path).
     pub fn iter_live(&self, now: SimTime) -> impl Iterator<Item = (&K, &V)> {
-        let mut live: Vec<(&K, &V)> = self
-            .slots
-            .iter()
-            .flatten()
-            .filter(|s| s.aged.is_live(now))
-            .map(|s| (&s.key, &s.aged.value))
+        let mut live: Vec<(&K, &V)> = (0..self.keys.len())
+            .filter(|&idx| self.keys[idx].is_some() && self.slot_live(idx, now))
+            .map(|idx| {
+                (
+                    self.keys[idx].as_ref().expect("occupancy checked"),
+                    self.values[idx].as_ref().expect("occupied slot lost its value"),
+                )
+            })
             .collect();
         live.sort_unstable_by(|a, b| a.0.cmp(b.0));
         live.into_iter()
@@ -749,6 +818,30 @@ mod tests {
         m.insert(7u32, 7, t(2_000));
         assert_eq!(m.peek(&7, t(1_500)), Some(&7));
         assert_eq!(m.sweep(t(3_000)), 1, "stale pre-clear wheel entries must not miscount");
+    }
+
+    #[test]
+    fn soa_heap_bytes_beat_the_aos_layout() {
+        // The PR 10 footprint claim at E12 geometry: the SoA planes
+        // must cost less than the old array-of-structs slots would on
+        // the same table, and the figure must scale with geometry, not
+        // with how many entries happen to be live.
+        let m: DLeftTable<MacAddr, u32> = DLeftTable::with_bucket_bits(bucket_bits_for(16_384));
+        assert!(
+            m.heap_bytes() < m.heap_bytes_aos_equivalent(),
+            "SoA {} >= AoS {}",
+            m.heap_bytes(),
+            m.heap_bytes_aos_equivalent()
+        );
+        let empty: DLeftTable<MacAddr, u32> = DLeftTable::new();
+        assert!(m.heap_bytes() > empty.heap_bytes(), "footprint follows geometry");
+        let mut filled = DLeftTable::with_bucket_bits(bucket_bits_for(16_384));
+        let before = filled.heap_bytes();
+        for i in 0..1024u32 {
+            filled.insert(MacAddr::from_index(1, i), i, t(1_000_000));
+        }
+        // Wheel buckets grow, but the plane cost is fixed at build.
+        assert!(filled.heap_bytes() >= before);
     }
 
     #[test]

@@ -105,6 +105,20 @@ impl TimerWheel {
         self.len == 0
     }
 
+    /// Heap footprint in bytes: the bucket-array spine plus every
+    /// bucket's entry storage and the cascade buffer. Folded into
+    /// [`DLeftTable::heap_bytes`](crate::DLeftTable::heap_bytes) for
+    /// the bytes-per-station accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<Vec<TimerEntry>>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<TimerEntry>())
+                .sum::<usize>()
+            + self.scratch.capacity() * std::mem::size_of::<TimerEntry>()
+    }
+
     /// File a deadline. Deadlines at or before the wheel's position go
     /// into the current tick's bucket and come back on the next
     /// [`advance`](TimerWheel::advance).

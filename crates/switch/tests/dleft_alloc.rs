@@ -86,6 +86,49 @@ fn steady_state_lookup_path_is_allocation_free() {
 }
 
 #[test]
+fn soa_vacate_and_accounting_paths_are_allocation_free() {
+    // PR 10's SoA repack must not sneak allocations into paths the AoS
+    // layout ran flat: `peek_aged` now builds its `Aged<&V>` on the
+    // stack (there is no contiguous Aged to borrow), lazy-expiry
+    // vacates on `get` clear two plane cells, `remove` takes from the
+    // value plane, and the `heap_bytes()` accounting walk only reads
+    // capacities.
+    const N: u32 = 2_000;
+    let mut table: DLeftTable<MacAddr, u32> = DLeftTable::with_bucket_bits(10);
+    let mut now = SimTime::ZERO;
+    let ttl = SimDuration::millis(1);
+    for i in 0..N {
+        table.insert(MacAddr::from_index(1, i), i, now + ttl);
+    }
+    assert_eq!(table.evictions(), 0);
+    now += SimDuration::micros(10);
+    let before = alloc_count();
+    for i in 0..N / 2 {
+        let mac = MacAddr::from_index(1, i);
+        assert_eq!(table.peek_aged(&mac, now).map(|a| a.expires), Some(SimTime::ZERO + ttl));
+        assert_eq!(table.remove(&mac), Some(i));
+        assert_eq!(table.peek_aged(&mac, now), None);
+    }
+    let baseline = table.heap_bytes();
+    assert!(baseline > 0);
+    // Every remaining entry expires; the lazy vacate on `get` must
+    // stay flat too.
+    now += SimDuration::millis(2);
+    for i in N / 2..N {
+        let mac = MacAddr::from_index(1, i);
+        assert_eq!(table.get(&mac, now), None, "expired entry vacated on access");
+    }
+    assert_eq!(table.heap_bytes(), baseline, "vacates release no heap — geometry is fixed");
+    let after = alloc_count();
+    assert_eq!(
+        after - before,
+        0,
+        "SoA peek_aged/remove/vacate/heap_bytes made {} heap allocations",
+        after - before
+    );
+}
+
+#[test]
 fn replacement_insert_allocates_only_amortized_wheel_growth() {
     // Inserts are *near*-allocation-free: slot placement itself never
     // allocates (flat arrays), but each insert files a timer-wheel

@@ -275,6 +275,21 @@ impl TopoBuilder {
         partition: &Partition,
         record_delivery_trace: bool,
     ) -> ShardedTopology {
+        self.build_sharded_with(partition, record_delivery_trace, true)
+    }
+
+    /// [`build_sharded`](TopoBuilder::build_sharded) with the per-pair
+    /// lookahead matrix toggled explicitly. `use_lookahead_matrix =
+    /// false` collapses the matrix to the PR 4 global-`L` window
+    /// computation — the oracle mode the difftest fuzzer and the E12
+    /// sync-cost comparison run against. Results are identical either
+    /// way; only the window schedule (and wall clock) differ.
+    pub fn build_sharded_with(
+        self,
+        partition: &Partition,
+        record_delivery_trace: bool,
+        use_lookahead_matrix: bool,
+    ) -> ShardedTopology {
         let plan = self.plan();
         assert!(
             plan.tracer.is_none(),
@@ -289,6 +304,7 @@ impl TopoBuilder {
         );
         let mut sb = ShardedBuilder::new(partition.shards());
         sb.record_delivery_trace(record_delivery_trace);
+        sb.use_lookahead_matrix(use_lookahead_matrix);
         let nodes: Vec<NodeId> = plan.devices.into_iter().map(|d| sb.add(d)).collect();
         let mut link_ids = Vec::with_capacity(plan.links.len());
         for &(a, ap, b, bp, params) in &plan.links {

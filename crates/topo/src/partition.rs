@@ -157,7 +157,9 @@ mod tests {
     /// all in range) and rack-local host↔edge links stay intra-shard.
     #[test]
     fn rack_major_covers_every_node_once_and_keeps_racks_local() {
-        for (k, hosts_per_edge, shards) in [(4, 2, 2), (4, 4, 4), (6, 3, 3), (8, 2, 4)] {
+        // The k=16 row is E12's geometry: 8 shards of two pods each.
+        for (k, hosts_per_edge, shards) in [(4, 2, 2), (4, 4, 4), (6, 3, 3), (8, 2, 4), (16, 2, 8)]
+        {
             let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));
             let ft = generic::fat_tree(&mut t, k);
             let hosts = ft.host_capacity(hosts_per_edge);
@@ -206,7 +208,7 @@ mod tests {
     ///    the only cut links are aggregation↔core.
     #[test]
     fn rack_major_grid_never_cuts_racks_and_keeps_pods_atomic() {
-        for k in [4usize, 6, 8] {
+        for k in [4usize, 6, 8, 16] {
             for shards in [2usize, 3, 4] {
                 for hosts_per_edge in [1usize, 2] {
                     let mut t = TopoBuilder::new(BridgeKind::ArpPath(ArpPathConfig::default()));

@@ -312,6 +312,29 @@ fn minimized_k6_reproducer_replays_clean() {
 }
 
 #[test]
+fn global_l_compatibility_mode_is_trace_identical_too() {
+    // `lookahead=global` turns off the per-pair matrix: the windows
+    // come from the collapsed global-`L` formula and the round runs
+    // PR 4's two-rendezvous structure. It must stay a *correct*
+    // engine — E12's matrix-vs-global comparison measures cost, never
+    // answers. One pinned scenario per family: the E8-style
+    // permutation workload, E9's PFC congestion under the watchdog,
+    // and the E11 churn family.
+    for line in [
+        "k=8 hosts_per_edge=2 segments=4 seed=233 pattern=permutation mode=infinite \
+         watchdog=off shards=3 partition=rack lookahead=global",
+        "k=4 hosts_per_edge=2 segments=8 seed=9 pattern=hotspot mode=pfc \
+         watchdog=on shards=2 partition=round-robin lookahead=global",
+        "k=4 hosts_per_edge=1 segments=4 seed=3 pattern=permutation mode=infinite \
+         watchdog=off shards=2 partition=rack churn=25 mobility=500 lookahead=global",
+    ] {
+        let spec = Spec::parse(line);
+        assert!(!spec.matrix, "the lookahead=global axis must parse");
+        assert_eq!(check(&spec), Outcome::Identical, "global-L mode diverged: {line}");
+    }
+}
+
+#[test]
 fn difftest_fuzz_smoke_finds_no_divergence() {
     // A handful of generated scenarios straight through the fuzzer
     // API — the same path `repro -- difftest --seeds N` and the CI
